@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one experiment from DESIGN.md's index (F1-F6,
+C1-C6, S1): it measures wall time via pytest-benchmark, *verifies the
+paper's qualitative claim as an assertion* (who wins, by roughly what
+factor, where behaviour changes), and persists the regenerated
+table/series under ``benchmarks/results/`` so the rows survive pytest's
+output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graph import build_graph, erdos_renyi, rmat, uniform_weights
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, title: str, body: str) -> Path:
+    """Persist one experiment's regenerated rows; also echo to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    text = f"== {title} ==\n{body.rstrip()}\n"
+    path.write_text(text)
+    print("\n" + text)
+    return path
+
+
+def er_weighted(n=256, avg_deg=6, seed=0, n_ranks=4, partition="block"):
+    """Standard weighted Erdős–Rényi instance used across benches."""
+    m = n * avg_deg
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1.0, 10.0, seed=seed + 1)
+    return build_graph(
+        n, list(zip(s, t)), weights=w, n_ranks=n_ranks, partition=partition
+    )
+
+
+def rmat_weighted(scale=8, edge_factor=8, seed=0, n_ranks=4, partition="cyclic"):
+    """Graph500-style R-MAT instance (skewed degrees)."""
+    s, t = rmat(scale, edge_factor=edge_factor, seed=seed)
+    w = uniform_weights(len(s), 1.0, 10.0, seed=seed + 1)
+    return build_graph(
+        1 << scale, list(zip(s, t)), weights=w, n_ranks=n_ranks, partition=partition
+    )
+
+
+def er_undirected(n=200, m=260, seed=0, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    g, _ = build_graph(n, list(zip(s, t)), directed=False, n_ranks=n_ranks)
+    return g, s, t

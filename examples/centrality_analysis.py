@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Who matters in the network? PageRank + betweenness by patterns.
+
+Two centrality measures on a preferential-attachment graph (hubs emerge
+naturally), both expressed through the pattern abstraction:
+
+* PageRank — an accumulate-modification pattern driven by epochs;
+* betweenness (Brandes) — two chained patterns per source: path-counting
+  BFS (atomic `add` + predecessor-set `insert`) and a reverse
+  dependency-accumulation whose generator is a *set-valued property map*
+  (the paper's non-builtin generator form).
+
+Run:  python examples/centrality_analysis.py
+"""
+
+import numpy as np
+
+from repro import Machine
+from repro.algorithms import betweenness_centrality, pagerank
+from repro.graph import build_graph, barabasi_albert
+
+n = 60
+src, trg = barabasi_albert(n, 2, seed=13)
+graph, _ = build_graph(
+    n,
+    list(zip(src.tolist(), trg.tolist())),
+    directed=False,  # symmetric: centrality over an undirected network
+    n_ranks=4,
+    deduplicate=True,
+)
+print(f"preferential-attachment network: {n} vertices, "
+      f"{graph.n_edges // 2} undirected edges, 4 ranks\n")
+
+machine = Machine(4)
+pr = pagerank(machine, graph, iterations=40)
+pr_msgs = machine.stats.total.sent_total
+
+bc = betweenness_centrality(lambda: Machine(4), graph)
+
+degrees = np.array([graph.out_degree(v) for v in range(n)])
+top_pr = np.argsort(pr)[::-1][:8]
+
+print(f"{'vertex':>7} {'degree':>7} {'pagerank':>10} {'betweenness':>12}")
+for v in top_pr:
+    print(f"{v:>7} {degrees[v]:>7} {pr[v]:>10.5f} {bc[v]:>12.1f}")
+
+# hubs should rank high on both measures
+spearman_ish = np.corrcoef(np.argsort(np.argsort(pr)),
+                           np.argsort(np.argsort(bc)))[0, 1]
+print(f"\nrank correlation between the two measures: {spearman_ish:.2f}")
+print(f"pagerank run used {pr_msgs} messages over 40 epochs;")
+print("betweenness ran two chained patterns per source — the paper's")
+print("pattern/strategy split carrying a genuinely multi-phase algorithm.")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Writing your own pattern: a two-hop trust score.
+
+This tutorial builds a pattern the library does not ship, showing the
+pieces the paper's Sec. III grammar gives you:
+
+* chained localities — reading `score[boss[v]]` hops to `boss[v]` first
+  (the dependency-graph machinery of Fig. 5);
+* an if / else-if chain with different modification sites;
+* both planning modes, and what each one costs in messages;
+* the work hook: reacting to dependent vertices without re-running.
+
+Scenario: every employee has a `boss` (a vertex-valued property — property
+maps "can store vertices", Sec. III-B).  An employee's `status` is derived
+from their boss's published `score`:
+
+    if score[boss[v]] > 70:  status[v] = 2   (fast-track)
+    elif score[boss[v]] > 30: status[v] = 1  (watch list)
+    else:                     status[v] = 0
+
+Run:  python examples/custom_pattern.py
+"""
+
+import numpy as np
+
+from repro import Machine
+from repro.graph import build_graph, random_tree
+from repro.patterns import Pattern, bind, compile_action
+
+# -- declare -------------------------------------------------------------------
+p = Pattern("TRUST")
+boss = p.vertex_prop("boss", "vertex")  # stores vertices!
+score = p.vertex_prop("score", float)
+status = p.vertex_prop("status", int, default=-1)
+
+rate = p.action("rate")
+v = rate.input
+boss_score = rate.let("boss_score", score[boss[v]])  # chained locality
+with rate.when(boss_score > 70.0):
+    rate.set(status[v], 2)
+with rate.elsewhen(boss_score > 30.0):
+    rate.set(status[v], 1)
+with rate.otherwise():
+    rate.set(status[v], 0)
+
+print(p.describe())
+print()
+
+# -- inspect both plans -----------------------------------------------------------
+for mode in ("optimized", "naive"):
+    plan = compile_action(rate, mode)
+    total = sum(cp.static_message_count() for cp in plan.cond_plans)
+    print(f"[{mode}] worst-case messages across the chain: {total}")
+print()
+print(compile_action(rate).describe())
+print()
+
+# -- run on an org chart ------------------------------------------------------------
+n = 32
+parents, children = random_tree(n, seed=3)
+graph, _ = build_graph(n, list(zip(parents, children)), n_ranks=4)
+
+machine = Machine(n_ranks=4)
+bound = bind(p, machine, graph)
+
+rng = np.random.default_rng(5)
+bound.map("score").from_array(rng.uniform(0, 100, n))
+boss_map = bound.map("boss")
+boss_map[0] = 0  # the CEO reports to themselves
+for parent, child in zip(parents, children):
+    boss_map[int(child)] = int(parent)
+
+with machine.epoch() as ep:
+    for emp in range(n):
+        bound["rate"].invoke(ep, emp)
+
+statuses = bound.map("status").to_array()
+scores = bound.map("score").to_array()
+bosses = boss_map.to_array()
+expected = np.where(
+    scores[bosses] > 70, 2, np.where(scores[bosses] > 30, 1, 0)
+)
+assert (statuses == expected).all()
+
+print("status counts:", dict(zip(*np.unique(statuses, return_counts=True))))
+s = machine.stats.summary()
+print(
+    f"messages: {s['sent_total']} ({s['sent_remote']} remote) "
+    f"for {n} ratings across 4 ranks — each rating hopped to the boss's "
+    f"rank to read the score, exactly as the plan promised."
+)

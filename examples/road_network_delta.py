@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Delta-stepping on a road-network-like grid (paper Sec. II-A).
+
+Road networks are the canonical Delta-stepping workload: large diameter,
+bounded degree, weights in a narrow band.  This example sweeps the Delta
+parameter over a weighted grid and shows the classic trade-off the
+strategy exposes:
+
+* tiny Delta  -> many bucket levels (epochs), little wasted work — the
+  label-setting end of the spectrum;
+* huge Delta  -> one level, more re-relaxations — the paper's fixed-point
+  algorithm in disguise;
+* a middle Delta balances both.
+
+All runs share the *same relax pattern*; only the strategy parameter
+changes — the paper's separation of declarative core and imperative
+schedule.
+
+Run:  python examples/road_network_delta.py
+"""
+
+import numpy as np
+
+from repro import Machine
+from repro.algorithms import bind_sssp, dijkstra_on_graph
+from repro.graph import build_graph, grid_2d, uniform_weights
+from repro.strategies import delta_stepping
+
+# -- a 24x24 "city grid" with travel times 1..5 -------------------------------
+rows = cols = 24
+src, trg = grid_2d(rows, cols)
+weights = uniform_weights(len(src), 1.0, 5.0, seed=11)
+graph, weight_by_gid = build_graph(
+    rows * cols,
+    list(zip(src.tolist(), trg.tolist())),
+    weights=weights,
+    directed=False,  # two-way streets
+    n_ranks=6,
+)
+source = 0
+oracle = dijkstra_on_graph(graph, weight_by_gid, source)
+print(
+    f"road grid: {graph.n_vertices} intersections, {graph.n_edges} arcs, "
+    f"6 ranks; max travel time {oracle.max():.1f}\n"
+)
+
+# -- sweep Delta -----------------------------------------------------------------
+print(f"{'delta':>7} {'levels':>7} {'relax calls':>12} {'messages':>9} {'correct':>8}")
+for delta in (0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 1e9):
+    machine = Machine(n_ranks=6)
+    bound = bind_sssp(machine, graph, weight_by_gid)
+    bound.map("dist")[source] = 0.0
+    levels = delta_stepping(
+        machine, bound["relax"], [source], bound.map("dist"), delta
+    )
+    d = bound.map("dist").to_array()
+    ok = np.allclose(d, oracle)
+    print(
+        f"{delta:>7.1f} {levels:>7} {machine.stats.total.handler_calls:>12} "
+        f"{machine.stats.total.sent_total:>9} {str(ok):>8}"
+    )
+
+print(
+    "\nsmall delta: many levels (synchronization), few wasted relaxations;\n"
+    "huge delta: one level — the fixed-point algorithm. The relax pattern\n"
+    "never changed."
+)

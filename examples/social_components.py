@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Connected components of a synthetic social network (paper Sec. II-B).
+
+The intro motivates graph analytics on social networks; this example runs
+the paper's *parallel search* CC — concurrent searches claiming regions,
+collisions recorded at roots, pointer jumping, and a final label-only
+rewrite — on a Watts-Strogatz small-world graph plus a few disconnected
+"communities", and cross-checks against a union-find oracle.
+
+The flush budget controls search concurrency: `epoch_flush` with a small
+budget starts many simultaneous searches (more collisions, more pointer
+jumping); a full flush makes searches effectively sequential.
+
+Run:  python examples/social_components.py
+"""
+
+import numpy as np
+
+from repro import Machine
+from repro.algorithms import connected_components
+from repro.baselines import same_partition, union_find_cc
+from repro.graph import GraphBuilder, watts_strogatz
+
+# -- build a small-world "social network" with isolated communities -----------
+rng = np.random.default_rng(7)
+n_core, n_total = 300, 360
+src, trg = watts_strogatz(n_core, 6, 0.1, seed=7)
+
+builder = GraphBuilder(n_total, directed=False)
+builder.add_edges(zip(src.tolist(), trg.tolist()))
+# three cliques of 20, disconnected from the core
+for base in (300, 320, 340):
+    for i in range(20):
+        for j in range(i + 1, 20):
+            if rng.random() < 0.3:
+                builder.add_edge(base + i, base + j)
+graph, _ = builder.build(n_ranks=8, partition="cyclic")
+
+print(f"graph: {graph.n_vertices} people, {graph.n_edges} (directed) arcs, 8 ranks")
+
+# -- oracle ---------------------------------------------------------------------
+arcs = list(graph.edges())
+oracle = union_find_cc(
+    n_total, [s for _, s, _ in arcs], [t for _, _, t in arcs]
+)
+n_components = len(set(oracle.tolist()))
+print(f"oracle: {n_components} communities\n")
+
+# -- parallel search at several concurrency levels --------------------------------
+print(f"{'flush_budget':>12} {'searches':>9} {'collisions':>11} "
+      f"{'jump_rounds':>12} {'messages':>9} {'correct':>8}")
+for budget in (None, 32, 8, 1):
+    machine = Machine(n_ranks=8, seed=1)
+    comp, details = connected_components(
+        machine, graph, flush_budget=budget, return_details=True
+    )
+    ok = same_partition(comp, oracle)
+    print(
+        f"{str(budget or 'full'):>12} {details['searches_started']:>9} "
+        f"{details['collisions']:>11} {details['jump_rounds']:>12} "
+        f"{machine.stats.total.sent_total:>9} {str(ok):>8}"
+    )
+
+print(
+    "\nsmaller budgets -> more concurrent searches -> more collisions,\n"
+    "but the component structure is always the oracle's (the paper's\n"
+    "claim that the imperative schedule never changes the result)."
+)

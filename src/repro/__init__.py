@@ -1,0 +1,88 @@
+"""repro — reproduction of "Declarative Patterns for Imperative Distributed
+Graph Algorithms" (Zalewski, Edmonds, Lumsdaine; IPDPS Workshops 2015).
+
+The library layers, bottom to top (see DESIGN.md):
+
+* :mod:`repro.runtime` — an AM++-equivalent active-message runtime
+  (typed messages, coalescing, caching, reductions, epochs, termination
+  detection) over a deterministic simulated multi-rank machine or real
+  threads.
+* :mod:`repro.graph` — distributed vertex-centric graph storage with
+  block/cyclic/hash partitions and Graph500-style generators.
+* :mod:`repro.props` — vertex/edge property maps and the lock-map
+  synchronization abstraction.
+* :mod:`repro.patterns` — the paper's core contribution: a declarative
+  pattern DSL whose actions are compiled (locality analysis -> dependency
+  graph -> gather/evaluate message plans) and executed over the runtime.
+* :mod:`repro.strategies` — imperative drivers (``fixed_point``, ``once``,
+  Delta-stepping) applying patterns in epochs.
+* :mod:`repro.algorithms` — SSSP, CC, BFS, PageRank built from patterns,
+  plus handwritten message-level counterparts.
+* :mod:`repro.baselines` — Pregel-style and GraphLab-style engines and
+  sequential oracles for comparison (paper Sec. V).
+
+Quickstart::
+
+    from repro import Machine, DistributedGraph, compile_pattern
+    from repro.algorithms.sssp import sssp_pattern, sssp_fixed_point
+    ...
+"""
+
+from .runtime import (
+    CachingLayer,
+    CoalescingLayer,
+    Epoch,
+    Machine,
+    MessageType,
+    ReductionLayer,
+)
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazy top-level conveniences: Pattern, bind, trg, src, fn, the graph
+    builders, and property maps, without import cycles at package load."""
+    lazy = {
+        "Pattern": ("repro.patterns", "Pattern"),
+        "bind": ("repro.patterns", "bind"),
+        "compile_action": ("repro.patterns", "compile_action"),
+        "trg": ("repro.patterns", "trg"),
+        "src": ("repro.patterns", "src"),
+        "fn": ("repro.patterns", "fn"),
+        "build_graph": ("repro.graph", "build_graph"),
+        "DistributedGraph": ("repro.graph", "DistributedGraph"),
+        "VertexPropertyMap": ("repro.props", "VertexPropertyMap"),
+        "EdgePropertyMap": ("repro.props", "EdgePropertyMap"),
+        "LockMap": ("repro.props", "LockMap"),
+        "weight_map_from_array": ("repro.props", "weight_map_from_array"),
+    }
+    if name in lazy:
+        import importlib
+
+        module, attr = lazy[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = [
+    "CachingLayer",
+    "CoalescingLayer",
+    "DistributedGraph",
+    "EdgePropertyMap",
+    "Epoch",
+    "LockMap",
+    "Machine",
+    "MessageType",
+    "Pattern",
+    "ReductionLayer",
+    "VertexPropertyMap",
+    "__version__",
+    "bind",
+    "build_graph",
+    "compile_action",
+    "fn",
+    "src",
+    "trg",
+    "weight_map_from_array",
+]

@@ -1,0 +1,108 @@
+"""Graph algorithms built from patterns + strategies, their handwritten
+message-level counterparts, and sequential oracles."""
+
+from .betweenness import (
+    betweenness_centrality,
+    betweenness_pattern,
+    betweenness_reference,
+)
+from .bfs import (
+    bfs_fixed_point,
+    bfs_level_synchronous,
+    bfs_pattern,
+    bfs_reference,
+    bfs_spmd,
+)
+from .cc import (
+    NULL,
+    cc_label_pattern,
+    cc_label_propagation,
+    cc_pattern,
+    connected_components,
+    rewrite_cc,
+)
+from .coloring import coloring_pattern, greedy_coloring, verify_coloring
+from .graph500 import (
+    bfs_parent_pattern,
+    bfs_parents,
+    run_graph500,
+    validate_bfs,
+)
+from .handwritten import bfs_handwritten, cc_handwritten, sssp_handwritten
+from .kcore import core_numbers, core_numbers_reference, k_core, kcore_pattern
+from .mis import maximal_independent_set, mis_pattern, verify_mis
+from .pagerank import (
+    pagerank,
+    pagerank_async,
+    pagerank_async_pattern,
+    pagerank_pattern,
+    pagerank_reference,
+)
+from .sssp import (
+    bind_sssp,
+    dijkstra_on_graph,
+    dijkstra_reference,
+    extract_path,
+    sssp_delta_spmd,
+    sssp_delta_stepping,
+    sssp_fixed_point,
+    sssp_pattern,
+    sssp_predecessors_pattern,
+    sssp_pull,
+    sssp_pull_pattern,
+    sssp_with_predecessors,
+)
+from .triangles import count_triangles, count_triangles_reference
+
+__all__ = [
+    "NULL",
+    "betweenness_centrality",
+    "betweenness_pattern",
+    "betweenness_reference",
+    "bfs_fixed_point",
+    "bfs_handwritten",
+    "bfs_parent_pattern",
+    "bfs_parents",
+    "bfs_level_synchronous",
+    "bfs_pattern",
+    "bfs_reference",
+    "bfs_spmd",
+    "bind_sssp",
+    "cc_handwritten",
+    "cc_label_pattern",
+    "cc_label_propagation",
+    "cc_pattern",
+    "coloring_pattern",
+    "connected_components",
+    "core_numbers",
+    "core_numbers_reference",
+    "count_triangles",
+    "count_triangles_reference",
+    "dijkstra_on_graph",
+    "dijkstra_reference",
+    "extract_path",
+    "greedy_coloring",
+    "k_core",
+    "kcore_pattern",
+    "maximal_independent_set",
+    "mis_pattern",
+    "pagerank",
+    "pagerank_async",
+    "pagerank_async_pattern",
+    "pagerank_pattern",
+    "pagerank_reference",
+    "rewrite_cc",
+    "run_graph500",
+    "sssp_delta_spmd",
+    "sssp_delta_stepping",
+    "sssp_fixed_point",
+    "sssp_handwritten",
+    "sssp_pattern",
+    "sssp_predecessors_pattern",
+    "sssp_pull",
+    "sssp_pull_pattern",
+    "sssp_with_predecessors",
+    "validate_bfs",
+    "verify_coloring",
+    "verify_mis",
+]

@@ -1,0 +1,98 @@
+"""Hand-coded message-level algorithms (no pattern layer).
+
+These are what a programmer writes *without* the paper's abstraction:
+explicit message types, explicit handlers, hand-rolled relaxation — the
+"spaghetti of communication primitives" the introduction complains about.
+They use the same runtime, graph, and property maps, so comparing them
+against the pattern-compiled versions isolates the abstraction's cost
+(experiment C6 in DESIGN.md): identical results, message-count ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..graph.distributed import DistributedGraph
+from ..props.property_map import VertexPropertyMap, weight_map_from_array
+from ..runtime.machine import Machine
+
+
+def sssp_handwritten(
+    machine: Machine,
+    graph: DistributedGraph,
+    weight_by_gid,
+    source: int,
+    *,
+    coalescing: Optional[int] = None,
+) -> np.ndarray:
+    """Hand-coded asynchronous SSSP: one 'relax' message per edge update."""
+    machine.attach_graph(graph)
+    dist = VertexPropertyMap(graph, "f8", default=math.inf, name="hw_dist")
+    weight = weight_map_from_array(graph, weight_by_gid, name="hw_weight")
+
+    def relax_handler(ctx, payload):
+        # payload: (vertex, candidate distance)
+        v, cand = payload
+        if cand < dist.get(v, rank=ctx.rank):
+            dist.set(v, cand, rank=ctx.rank)
+            gids, targets = graph.out_edges(v)
+            for gid, t in zip(gids, targets):
+                ctx.send(
+                    "hw.sssp.relax",
+                    (int(t), cand + weight.get(int(gid), rank=ctx.rank)),
+                )
+
+    machine.register(
+        "hw.sssp.relax",
+        relax_handler,
+        address_of=lambda p: p[0],
+        coalescing=coalescing,
+    )
+    with machine.epoch() as ep:
+        ep.invoke("hw.sssp.relax", (source, 0.0))
+    return dist.to_array()
+
+
+def bfs_handwritten(
+    machine: Machine, graph: DistributedGraph, source: int
+) -> np.ndarray:
+    """Hand-coded asynchronous BFS."""
+    machine.attach_graph(graph)
+    depth = VertexPropertyMap(graph, "f8", default=math.inf, name="hw_depth")
+
+    def visit_handler(ctx, payload):
+        v, d = payload
+        if d < depth.get(v, rank=ctx.rank):
+            depth.set(v, d, rank=ctx.rank)
+            for t in graph.adj(v):
+                ctx.send("hw.bfs.visit", (int(t), d + 1))
+
+    machine.register("hw.bfs.visit", visit_handler, address_of=lambda p: p[0])
+    with machine.epoch() as ep:
+        ep.invoke("hw.bfs.visit", (source, 0.0))
+    return depth.to_array()
+
+
+def cc_handwritten(machine: Machine, graph: DistributedGraph) -> np.ndarray:
+    """Hand-coded min-label propagation CC (undirected builds)."""
+    machine.attach_graph(graph)
+    comp = VertexPropertyMap(graph, "i8", default=0, name="hw_comp")
+    for v in graph.vertices():
+        comp[v] = v
+
+    def label_handler(ctx, payload):
+        v, label = payload
+        if label < comp.get(v, rank=ctx.rank):
+            comp.set(v, label, rank=ctx.rank)
+            for t in graph.adj(v):
+                ctx.send("hw.cc.label", (int(t), label))
+
+    machine.register("hw.cc.label", label_handler, address_of=lambda p: p[0])
+    with machine.epoch() as ep:
+        for v in graph.vertices():
+            for t in graph.adj(v):
+                ep.invoke("hw.cc.label", (int(t), v))
+    return comp.to_array()

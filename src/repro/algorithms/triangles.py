@@ -1,0 +1,61 @@
+"""Triangle counting — a documented limit of the pattern abstraction.
+
+The paper's grammar allows **one** generator per action ("there can be
+only one generator, allowing only one level of fan out. ... multiple
+generators would greatly increase computational complexity").  Triangle
+counting needs two-hop information (does a neighbour of my neighbour
+close back?), so it cannot be a single pattern; this module implements it
+as a handwritten message-level algorithm on the same runtime — the escape
+hatch the abstraction deliberately leaves open — and is exercised by
+tests both for correctness and as living documentation of the
+restriction.
+
+Algorithm (oriented wedge counting): order vertices by id; each vertex v
+sends its higher-id neighbour list to every higher-id neighbour u; the
+handler at u counts |list ∩ higher-neighbours(u)|.  Every triangle
+{a<b<c} is counted exactly once (at b, from a's message, closing via c).
+Requires an undirected build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.distributed import DistributedGraph
+from ..runtime.machine import Machine
+
+
+def count_triangles(machine: Machine, graph: DistributedGraph) -> int:
+    machine.attach_graph(graph)
+    n = graph.n_vertices
+    higher: list[tuple] = [
+        tuple(sorted({int(t) for t in graph.adj(v) if int(t) > v}))
+        for v in range(n)
+    ]
+    total = [0]
+
+    def wedge_handler(ctx, payload):
+        # payload: (dest u, tuple of v's higher neighbours)
+        u, candidates = payload
+        mine = set(higher[u])
+        total[0] += sum(1 for w in candidates if w in mine)
+
+    machine.register("tri.wedge", wedge_handler, address_of=lambda p: p[0])
+    with machine.epoch() as ep:
+        for v in range(n):
+            nbrs = higher[v]
+            if len(nbrs) < 1:
+                continue
+            for u in nbrs:
+                ep.invoke("tri.wedge", (u, nbrs))
+    return total[0]
+
+
+def count_triangles_reference(n_vertices: int, sources, targets) -> int:
+    """Dense numpy oracle: trace(A^3) / 6 on the simple undirected graph."""
+    a = np.zeros((n_vertices, n_vertices), dtype=np.int64)
+    for s, t in zip(sources, targets):
+        if s != t:
+            a[int(s), int(t)] = 1
+            a[int(t), int(s)] = 1
+    return int(np.trace(a @ a @ a) // 6)

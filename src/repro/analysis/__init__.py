@@ -1,0 +1,26 @@
+"""Run reports, message tracing, and validation utilities."""
+
+from .metrics import RunReport, collect_report, format_table
+from .tracing import MessageTracer, TraceEvent
+from .validation import (
+    HAVE_NETWORKX,
+    distances_match,
+    networkx_bfs_depths,
+    networkx_components,
+    networkx_sssp,
+    to_networkx,
+)
+
+__all__ = [
+    "HAVE_NETWORKX",
+    "MessageTracer",
+    "RunReport",
+    "TraceEvent",
+    "collect_report",
+    "distances_match",
+    "format_table",
+    "networkx_bfs_depths",
+    "networkx_components",
+    "networkx_sssp",
+    "to_networkx",
+]

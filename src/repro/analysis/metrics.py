@@ -1,0 +1,103 @@
+"""Run reports: structured summaries of algorithm executions.
+
+Benchmarks print these as the "rows" regenerating each experiment in
+DESIGN.md's index: message counts, handler calls, work items,
+coalescing/caching effectiveness, and per-epoch breakdowns — the
+machine-independent quantities the paper's cost model is built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime.machine import Machine
+
+
+@dataclass
+class RunReport:
+    """Headline metrics of one algorithm run on one machine."""
+
+    name: str
+    n_ranks: int
+    n_vertices: int
+    n_edges: int
+    sent_local: int
+    sent_remote: int
+    handler_calls: int
+    payload_slots: int
+    coalesced_flushes: int
+    cache_hits: int
+    reduction_combines: int
+    control_messages: int
+    work_items: int
+    epochs: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def sent_total(self) -> int:
+        return self.sent_local + self.sent_remote
+
+    @property
+    def remote_fraction(self) -> float:
+        return self.sent_remote / self.sent_total if self.sent_total else 0.0
+
+    def row(self) -> dict:
+        """Flat dict suitable for printing as a result-table row."""
+        d = {
+            "name": self.name,
+            "ranks": self.n_ranks,
+            "V": self.n_vertices,
+            "E": self.n_edges,
+            "msgs": self.sent_total,
+            "remote": self.sent_remote,
+            "handlers": self.handler_calls,
+            "flushes": self.coalesced_flushes,
+            "cache_hits": self.cache_hits,
+            "reduced": self.reduction_combines,
+            "control": self.control_messages,
+            "work": self.work_items,
+            "epochs": self.epochs,
+        }
+        d.update(self.extra)
+        return d
+
+
+def collect_report(
+    name: str, machine: Machine, graph=None, **extra
+) -> RunReport:
+    """Snapshot a machine's statistics into a report."""
+    s = machine.stats.summary()
+    return RunReport(
+        name=name,
+        n_ranks=machine.n_ranks,
+        n_vertices=graph.n_vertices if graph is not None else 0,
+        n_edges=graph.n_edges if graph is not None else 0,
+        sent_local=s["sent_local"],
+        sent_remote=s["sent_remote"],
+        handler_calls=s["handler_calls"],
+        payload_slots=s["payload_slots"],
+        coalesced_flushes=s["coalesced_flushes"],
+        cache_hits=s["cache_hits"],
+        reduction_combines=s["reduction_combines"],
+        control_messages=s["control_messages"],
+        work_items=s["work_items"],
+        epochs=s["epochs"],
+        extra=extra,
+    )
+
+
+def format_table(rows: list[dict], columns: Optional[list[str]] = None) -> str:
+    """Fixed-width text table from row dicts (bench output helper)."""
+    if not rows:
+        return "(no rows)"
+    cols = columns or list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in cols
+    }
+    header = "  ".join(str(c).rjust(widths[c]) for c in cols)
+    sep = "-" * len(header)
+    lines = [header, sep]
+    for r in rows:
+        lines.append("  ".join(str(r.get(c, "")).rjust(widths[c]) for c in cols))
+    return "\n".join(lines)

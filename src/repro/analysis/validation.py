@@ -1,0 +1,73 @@
+"""Cross-validation against networkx (when available) and internal oracles."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..graph.distributed import DistributedGraph
+
+try:  # networkx is an optional test dependency
+    import networkx as nx
+
+    HAVE_NETWORKX = True
+except ImportError:  # pragma: no cover
+    nx = None
+    HAVE_NETWORKX = False
+
+
+def to_networkx(graph: DistributedGraph, weight_by_gid=None):
+    """Convert a distributed graph to a networkx DiGraph."""
+    if not HAVE_NETWORKX:  # pragma: no cover
+        raise RuntimeError("networkx not installed")
+    G = nx.DiGraph()
+    G.add_nodes_from(range(graph.n_vertices))
+    w = None if weight_by_gid is None else np.asarray(weight_by_gid)
+    for gid, s, t in graph.edges():
+        if w is None:
+            G.add_edge(s, t)
+        else:
+            # parallel arcs: keep the lighter one (shortest-path equivalent)
+            if G.has_edge(s, t):
+                G[s][t]["weight"] = min(G[s][t]["weight"], float(w[gid]))
+            else:
+                G.add_edge(s, t, weight=float(w[gid]))
+    return G
+
+
+def networkx_sssp(graph: DistributedGraph, weight_by_gid, source: int) -> np.ndarray:
+    G = to_networkx(graph, weight_by_gid)
+    lengths = nx.single_source_dijkstra_path_length(G, source, weight="weight")
+    out = np.full(graph.n_vertices, math.inf)
+    for v, d in lengths.items():
+        out[v] = d
+    return out
+
+
+def networkx_components(graph: DistributedGraph) -> np.ndarray:
+    G = to_networkx(graph).to_undirected()
+    out = np.empty(graph.n_vertices, dtype=np.int64)
+    for comp in nx.connected_components(G):
+        label = min(comp)
+        for v in comp:
+            out[v] = label
+    return out
+
+
+def networkx_bfs_depths(graph: DistributedGraph, source: int) -> np.ndarray:
+    G = to_networkx(graph)
+    out = np.full(graph.n_vertices, math.inf)
+    for v, d in nx.single_source_shortest_path_length(G, source).items():
+        out[v] = d
+    return out
+
+
+def distances_match(a, b, *, atol: float = 1e-9) -> bool:
+    """Elementwise distance comparison treating inf == inf as equal."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    both_inf = np.isinf(a) & np.isinf(b)
+    close = np.isclose(a, b, atol=atol)
+    return bool(np.all(both_inf | close))

@@ -1,0 +1,32 @@
+"""Related-work comparator engines (paper Sec. V) and sequential oracles."""
+
+from .graphlab import GraphLabEngine, Scope, graphlab_cc, graphlab_sssp
+from .pregel import (
+    PregelContext,
+    PregelEngine,
+    pregel_cc,
+    pregel_pagerank,
+    pregel_sssp,
+)
+from .sequential import (
+    canonical_labeling,
+    reachable_from,
+    same_partition,
+    union_find_cc,
+)
+
+__all__ = [
+    "GraphLabEngine",
+    "PregelContext",
+    "PregelEngine",
+    "Scope",
+    "canonical_labeling",
+    "graphlab_cc",
+    "graphlab_sssp",
+    "pregel_cc",
+    "pregel_pagerank",
+    "pregel_sssp",
+    "reachable_from",
+    "same_partition",
+    "union_find_cc",
+]

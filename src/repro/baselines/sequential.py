@@ -1,0 +1,60 @@
+"""Sequential oracle algorithms (union-find CC, BFS/DFS reachability).
+
+Dijkstra, BFS, and PageRank references live with their pattern
+counterparts (:mod:`repro.algorithms`); this module holds the remaining
+oracles plus small helpers tests use to compare labelings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def union_find_cc(n_vertices: int, sources, targets) -> np.ndarray:
+    """Connected components of an undirected edge list via union-find."""
+    parent = np.arange(n_vertices, dtype=np.int64)
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    for s, t in zip(sources, targets):
+        rs, rt = find(int(s)), find(int(t))
+        if rs != rt:
+            parent[max(rs, rt)] = min(rs, rt)
+    return np.array([find(v) for v in range(n_vertices)], dtype=np.int64)
+
+
+def canonical_labeling(labels) -> tuple:
+    """Map a component labeling to a canonical form so two labelings can
+    be compared as partitions (same groups, arbitrary label values)."""
+    mapping: dict = {}
+    out = []
+    for x in labels:
+        x = int(x)
+        if x not in mapping:
+            mapping[x] = len(mapping)
+        out.append(mapping[x])
+    return tuple(out)
+
+
+def same_partition(a, b) -> bool:
+    return canonical_labeling(a) == canonical_labeling(b)
+
+
+def reachable_from(n_vertices: int, sources, targets, start: int) -> set:
+    """Vertices reachable from ``start`` in a directed edge list."""
+    adj: list[list[int]] = [[] for _ in range(n_vertices)]
+    for s, t in zip(sources, targets):
+        adj[int(s)].append(int(t))
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for w in adj[u]:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return seen

@@ -1,0 +1,262 @@
+"""Command-line interface: run the reproduction's algorithms from a shell.
+
+    python -m repro sssp  --generator rmat --scale 8 --ranks 4 --delta 3.0
+    python -m repro cc    --generator erdos_renyi --n 400 --m 600
+    python -m repro bfs   --generator watts_strogatz --n 300 --k 6
+    python -m repro pagerank --generator barabasi_albert --n 200 --m-attach 3
+    python -m repro plan  --pattern sssp           # print a compiled plan
+
+Every run prints the result summary and the machine's message statistics
+(the paper's cost model).  Deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import Machine
+from .analysis import collect_report, format_table
+from .graph import (
+    barabasi_albert,
+    build_graph,
+    erdos_renyi,
+    grid_2d,
+    rmat,
+    uniform_weights,
+    watts_strogatz,
+)
+
+
+def _make_graph(args, *, directed: bool):
+    gen = args.generator
+    seed = args.seed
+    if gen == "erdos_renyi":
+        n = args.n
+        src, trg = erdos_renyi(n, args.m, seed=seed)
+    elif gen == "rmat":
+        n = 1 << args.scale
+        src, trg = rmat(args.scale, edge_factor=args.edge_factor, seed=seed)
+    elif gen == "watts_strogatz":
+        n = args.n
+        src, trg = watts_strogatz(n, args.k, args.beta, seed=seed)
+    elif gen == "barabasi_albert":
+        n = args.n
+        src, trg = barabasi_albert(n, args.m_attach, seed=seed)
+    elif gen == "grid":
+        n = args.rows * args.cols
+        src, trg = grid_2d(args.rows, args.cols)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(gen)
+    weights = uniform_weights(len(src), args.w_min, args.w_max, seed=seed + 1)
+    return build_graph(
+        n,
+        list(zip(src.tolist(), trg.tolist())),
+        weights=weights,
+        directed=directed,
+        n_ranks=args.ranks,
+        partition=args.partition,
+    )
+
+
+def _machine(args) -> Machine:
+    return Machine(
+        n_ranks=args.ranks,
+        schedule=args.schedule,
+        seed=args.seed,
+        detector=args.detector,
+        routing=args.routing,
+    )
+
+
+def _print_report(name: str, machine: Machine, graph, **extra) -> None:
+    rep = collect_report(name, machine, graph, **extra)
+    print()
+    print(format_table([rep.row()]))
+
+
+def cmd_sssp(args) -> int:
+    graph, weights = _make_graph(args, directed=True)
+    machine = _machine(args)
+    source = args.source
+    if args.auto_source:
+        source = int(
+            np.argmax([graph.out_degree(v) for v in range(graph.n_vertices)])
+        )
+    if args.delta is not None:
+        from .algorithms import sssp_delta_stepping
+
+        dist = sssp_delta_stepping(machine, graph, weights, source, args.delta)
+        algo = f"sssp-delta({args.delta})"
+    else:
+        from .algorithms import sssp_fixed_point
+
+        dist = sssp_fixed_point(machine, graph, weights, source)
+        algo = "sssp-fixed-point"
+    reachable = int(np.isfinite(dist).sum())
+    print(
+        f"{algo}: source {source}, reachable {reachable}/{graph.n_vertices}, "
+        f"max distance {np.nanmax(np.where(np.isfinite(dist), dist, np.nan)):.3f}"
+    )
+    _print_report(algo, machine, graph, reachable=reachable)
+    return 0
+
+
+def cmd_bfs(args) -> int:
+    from .algorithms import bfs_fixed_point
+
+    graph, _ = _make_graph(args, directed=True)
+    machine = _machine(args)
+    depth = bfs_fixed_point(machine, graph, args.source)
+    reachable = int(np.isfinite(depth).sum())
+    print(f"bfs: reachable {reachable}/{graph.n_vertices}")
+    _print_report("bfs", machine, graph, reachable=reachable)
+    return 0
+
+
+def cmd_cc(args) -> int:
+    from .algorithms import connected_components
+
+    graph, _ = _make_graph(args, directed=False)
+    machine = _machine(args)
+    comp, details = connected_components(
+        machine, graph, flush_budget=args.flush_budget, return_details=True
+    )
+    n_comp = len(set(comp.tolist()))
+    print(
+        f"cc: {n_comp} components; searches {details['searches_started']}, "
+        f"collisions {details['collisions']}, jump rounds {details['jump_rounds']}"
+    )
+    _print_report("cc", machine, graph, components=n_comp)
+    return 0
+
+
+def cmd_pagerank(args) -> int:
+    from .algorithms import pagerank
+
+    graph, _ = _make_graph(args, directed=True)
+    machine = _machine(args)
+    pr = pagerank(machine, graph, iterations=args.iterations)
+    top = np.argsort(pr)[::-1][:5]
+    print("pagerank top-5:", [(int(v), round(float(pr[v]), 5)) for v in top])
+    _print_report("pagerank", machine, graph)
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from .patterns import compile_action
+
+    if args.pattern == "sssp":
+        from .algorithms import sssp_pattern
+
+        pattern = sssp_pattern()
+    elif args.pattern == "cc":
+        from .algorithms import cc_pattern
+
+        pattern = cc_pattern()
+    elif args.pattern == "bfs":
+        from .algorithms import bfs_pattern
+
+        pattern = bfs_pattern()
+    else:
+        from .algorithms import pagerank_pattern
+
+        pattern = pagerank_pattern()
+    print(pattern.describe())
+    print()
+    for action in pattern.actions.values():
+        print(compile_action(action, args.mode).describe())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Declarative patterns for distributed graph algorithms "
+        "(IPDPS-W 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--ranks", type=int, default=4)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--schedule",
+            choices=["round_robin", "random", "fifo", "lifo"],
+            default="round_robin",
+        )
+        p.add_argument(
+            "--detector",
+            choices=["oracle", "safra", "four_counter"],
+            default="oracle",
+        )
+        p.add_argument("--routing", choices=["direct", "hypercube"], default="direct")
+        p.add_argument(
+            "--partition", choices=["block", "cyclic", "hash"], default="block"
+        )
+        p.add_argument(
+            "--generator",
+            choices=[
+                "erdos_renyi",
+                "rmat",
+                "watts_strogatz",
+                "barabasi_albert",
+                "grid",
+            ],
+            default="erdos_renyi",
+        )
+        p.add_argument("--n", type=int, default=200)
+        p.add_argument("--m", type=int, default=800)
+        p.add_argument("--scale", type=int, default=8)
+        p.add_argument("--edge-factor", type=int, default=8)
+        p.add_argument("--k", type=int, default=6)
+        p.add_argument("--beta", type=float, default=0.1)
+        p.add_argument("--m-attach", type=int, default=3)
+        p.add_argument("--rows", type=int, default=16)
+        p.add_argument("--cols", type=int, default=16)
+        p.add_argument("--w-min", type=float, default=1.0)
+        p.add_argument("--w-max", type=float, default=10.0)
+
+    p_sssp = sub.add_parser("sssp", help="single-source shortest paths")
+    add_common(p_sssp)
+    p_sssp.add_argument("--source", type=int, default=0)
+    p_sssp.add_argument(
+        "--auto-source", action="store_true", help="use the max-degree vertex"
+    )
+    p_sssp.add_argument("--delta", type=float, default=None)
+    p_sssp.set_defaults(fn=cmd_sssp)
+
+    p_bfs = sub.add_parser("bfs", help="breadth-first search")
+    add_common(p_bfs)
+    p_bfs.add_argument("--source", type=int, default=0)
+    p_bfs.set_defaults(fn=cmd_bfs)
+
+    p_cc = sub.add_parser("cc", help="connected components (parallel search)")
+    add_common(p_cc)
+    p_cc.add_argument("--flush-budget", type=int, default=None)
+    p_cc.set_defaults(fn=cmd_cc)
+
+    p_pr = sub.add_parser("pagerank", help="PageRank")
+    add_common(p_pr)
+    p_pr.add_argument("--iterations", type=int, default=20)
+    p_pr.set_defaults(fn=cmd_pagerank)
+
+    p_plan = sub.add_parser("plan", help="print a pattern's compiled plan")
+    p_plan.add_argument(
+        "--pattern", choices=["sssp", "cc", "bfs", "pagerank"], default="sssp"
+    )
+    p_plan.add_argument("--mode", choices=["optimized", "naive"], default="optimized")
+    p_plan.set_defaults(fn=cmd_plan)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Distributed graph substrate: partitions, CSR storage, builders,
+generators, and I/O (see DESIGN.md Sec. 3)."""
+
+from .builder import GraphBuilder, build_graph
+from .csr import LocalCSR
+from .distributed import DistributedGraph, from_edges
+from .generators import (
+    GENERATORS,
+    barabasi_albert,
+    complete,
+    cycle,
+    erdos_renyi,
+    grid_2d,
+    path,
+    random_tree,
+    rmat,
+    star,
+    uniform_weights,
+    watts_strogatz,
+)
+from .io import read_edge_list, write_edge_list
+from .views import induced_subgraph, reverse_graph
+from .partition import (
+    PARTITIONS,
+    BlockPartition,
+    CyclicPartition,
+    HashPartition,
+    Partition,
+    make_partition,
+)
+
+__all__ = [
+    "BlockPartition",
+    "CyclicPartition",
+    "DistributedGraph",
+    "GENERATORS",
+    "GraphBuilder",
+    "HashPartition",
+    "LocalCSR",
+    "PARTITIONS",
+    "Partition",
+    "barabasi_albert",
+    "build_graph",
+    "complete",
+    "cycle",
+    "erdos_renyi",
+    "from_edges",
+    "grid_2d",
+    "induced_subgraph",
+    "make_partition",
+    "path",
+    "random_tree",
+    "read_edge_list",
+    "reverse_graph",
+    "rmat",
+    "star",
+    "uniform_weights",
+    "watts_strogatz",
+    "write_edge_list",
+]

@@ -1,0 +1,132 @@
+"""Incremental graph construction with weights and undirected closure.
+
+``GraphBuilder`` accumulates edges (with optional per-edge data), handles
+deduplication and self-loop policy, symmetrizes undirected inputs (both
+arcs stored, sharing the weight, as the paper's CC example expects of
+``adj``), and produces a :class:`~repro.graph.distributed.DistributedGraph`
+plus weight arrays aligned with global edge ids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .distributed import DistributedGraph, from_edges
+from .partition import Partition
+
+
+class GraphBuilder:
+    """Collect edges, then :meth:`build` a distributed graph."""
+
+    def __init__(
+        self,
+        n_vertices: int,
+        *,
+        directed: bool = True,
+        allow_self_loops: bool = True,
+        deduplicate: bool = False,
+    ) -> None:
+        self.n_vertices = n_vertices
+        self.directed = directed
+        self.allow_self_loops = allow_self_loops
+        self.deduplicate = deduplicate
+        self._src: list[int] = []
+        self._trg: list[int] = []
+        self._weights: list[float] = []
+        self._has_weights: Optional[bool] = None
+
+    def add_edge(self, u: int, v: int, weight: Optional[float] = None) -> "GraphBuilder":
+        if not (0 <= u < self.n_vertices and 0 <= v < self.n_vertices):
+            raise ValueError(f"edge ({u}, {v}) out of range [0, {self.n_vertices})")
+        if u == v and not self.allow_self_loops:
+            return self
+        if self._has_weights is None:
+            self._has_weights = weight is not None
+        elif self._has_weights != (weight is not None):
+            raise ValueError("either all edges have weights or none do")
+        self._src.append(u)
+        self._trg.append(v)
+        if weight is not None:
+            self._weights.append(float(weight))
+        return self
+
+    def add_edges(self, edges, weights=None) -> "GraphBuilder":
+        if weights is None:
+            for u, v in edges:
+                self.add_edge(int(u), int(v))
+        else:
+            for (u, v), w in zip(edges, weights):
+                self.add_edge(int(u), int(v), float(w))
+        return self
+
+    @property
+    def n_pending_edges(self) -> int:
+        return len(self._src)
+
+    def build(
+        self,
+        *,
+        n_ranks: int = 4,
+        partition: str | Partition = "block",
+        bidirectional: bool = False,
+    ) -> tuple[DistributedGraph, Optional[np.ndarray]]:
+        """Build; returns (graph, weight_by_gid or None)."""
+        src = np.asarray(self._src, dtype=np.int64)
+        trg = np.asarray(self._trg, dtype=np.int64)
+        w = (
+            np.asarray(self._weights, dtype=np.float64)
+            if self._has_weights
+            else None
+        )
+
+        if not self.directed:
+            # Symmetrize: store the reverse arc with the same weight.
+            # Self-loops are not duplicated.
+            non_loop = src != trg
+            src, trg, w_all = (
+                np.concatenate([src, trg[non_loop]]),
+                np.concatenate([trg, src[non_loop]]),
+                (np.concatenate([w, w[non_loop]]) if w is not None else None),
+            )
+            w = w_all
+
+        if self.deduplicate and len(src):
+            key = src * np.int64(self.n_vertices) + trg
+            _, keep = np.unique(key, return_index=True)
+            keep.sort()
+            src, trg = src[keep], trg[keep]
+            if w is not None:
+                w = w[keep]
+
+        graph, gid_of_input = from_edges(
+            self.n_vertices,
+            src,
+            trg,
+            n_ranks=n_ranks,
+            partition=partition,
+            bidirectional=bidirectional,
+        )
+        if w is None:
+            return graph, None
+        weight_by_gid = np.empty(graph.n_edges, dtype=np.float64)
+        weight_by_gid[gid_of_input] = w
+        return graph, weight_by_gid
+
+
+def build_graph(
+    n_vertices: int,
+    edges,
+    *,
+    weights=None,
+    directed: bool = True,
+    n_ranks: int = 4,
+    partition: str | Partition = "block",
+    bidirectional: bool = False,
+    deduplicate: bool = False,
+) -> tuple[DistributedGraph, Optional[np.ndarray]]:
+    """One-shot convenience over :class:`GraphBuilder`."""
+    b = GraphBuilder(n_vertices, directed=directed, deduplicate=deduplicate)
+    b.add_edges(edges, weights)
+    return b.build(n_ranks=n_ranks, partition=partition, bidirectional=bidirectional)

@@ -1,0 +1,197 @@
+"""Synthetic graph generators.
+
+The paper motivates scale with Graph500 (Sec. I), whose generator is the
+R-MAT/Kronecker recursive model; :func:`rmat` reproduces it (including the
+noise-free quadrant probabilities a=0.57, b=c=0.19, d=0.05 used by the
+benchmark).  The rest are standard models used across the test and bench
+suites: Erdős–Rényi G(n, m), Watts–Strogatz small worlds, 2-D grids,
+paths, cycles, stars, complete graphs, and random trees.
+
+All generators return ``(sources, targets)`` int64 arrays (an *edge list*,
+directed as stated per generator); weights come from
+:func:`uniform_weights`.  Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _rng(seed: int | None) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi(n: int, m: int, seed: int | None = 0, allow_self_loops: bool = False):
+    """G(n, m): m directed edges drawn uniformly (without dedup)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = _rng(seed)
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    trg = rng.integers(0, n, size=m, dtype=np.int64)
+    if not allow_self_loops and n > 1:
+        loops = src == trg
+        while loops.any():
+            trg[loops] = rng.integers(0, n, size=int(loops.sum()), dtype=np.int64)
+            loops = src == trg
+    return src, trg
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int | None = 0,
+    permute: bool = True,
+):
+    """Graph500 Kronecker generator: 2**scale vertices, edge_factor per vertex.
+
+    Probabilities (a, b, c) follow the Graph500 spec; d = 1 - a - b - c.
+    ``permute`` applies the spec's random vertex relabeling so that high
+    degree does not correlate with id (and hence with rank under block
+    partitions).
+    """
+    if not 0 < a < 1 or b < 0 or c < 0 or a + b + c >= 1:
+        raise ValueError("require 0<a<1, b,c>=0, a+b+c<1")
+    n = 1 << scale
+    m = n * edge_factor
+    rng = _rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    trg = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    c_norm = c / (1.0 - ab)
+    for bit in range(scale):
+        r1 = rng.random(m)
+        r2 = rng.random(m)
+        heavy_row = r1 >= ab  # falls into quadrants c or d
+        heavy_col = np.where(
+            heavy_row, r2 >= c_norm, r2 >= a / ab
+        )
+        src |= heavy_row.astype(np.int64) << bit
+        trg |= heavy_col.astype(np.int64) << bit
+    if permute:
+        perm = rng.permutation(n).astype(np.int64)
+        src, trg = perm[src], perm[trg]
+    return src, trg
+
+
+def watts_strogatz(n: int, k: int, beta: float, seed: int | None = 0):
+    """Small-world ring lattice with rewiring (undirected edge list)."""
+    if k % 2 != 0 or k >= n:
+        raise ValueError("k must be even and < n")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError("beta in [0, 1]")
+    rng = _rng(seed)
+    src_list, trg_list = [], []
+    for j in range(1, k // 2 + 1):
+        u = np.arange(n, dtype=np.int64)
+        v = (u + j) % n
+        rewire = rng.random(n) < beta
+        new_v = v.copy()
+        for i in np.flatnonzero(rewire):
+            cand = int(rng.integers(0, n))
+            while cand == i:
+                cand = int(rng.integers(0, n))
+            new_v[i] = cand
+        src_list.append(u)
+        trg_list.append(new_v)
+    return np.concatenate(src_list), np.concatenate(trg_list)
+
+
+def grid_2d(rows: int, cols: int):
+    """4-neighbour grid, undirected edge list (right and down arcs)."""
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    right_src = idx[:, :-1].ravel()
+    right_trg = idx[:, 1:].ravel()
+    down_src = idx[:-1, :].ravel()
+    down_trg = idx[1:, :].ravel()
+    return (
+        np.concatenate([right_src, down_src]),
+        np.concatenate([right_trg, down_trg]),
+    )
+
+
+def path(n: int):
+    u = np.arange(n - 1, dtype=np.int64)
+    return u, u + 1
+
+
+def cycle(n: int):
+    u = np.arange(n, dtype=np.int64)
+    return u, (u + 1) % n
+
+
+def star(n: int):
+    """Vertex 0 connected to all others."""
+    return np.zeros(n - 1, dtype=np.int64), np.arange(1, n, dtype=np.int64)
+
+
+def complete(n: int):
+    u, v = np.meshgrid(np.arange(n, dtype=np.int64), np.arange(n, dtype=np.int64))
+    mask = u != v
+    return u[mask].ravel(), v[mask].ravel()
+
+
+def barabasi_albert(n: int, m_attach: int, seed: int | None = 0):
+    """Preferential attachment: each new vertex attaches to ``m_attach``
+    existing vertices chosen proportionally to degree (undirected edge
+    list; power-law degree distribution, another social-network staple).
+    """
+    if m_attach < 1 or m_attach >= n:
+        raise ValueError("require 1 <= m_attach < n")
+    rng = _rng(seed)
+    src_list: list[int] = []
+    trg_list: list[int] = []
+    # attachment pool: one entry per half-edge (classic implementation)
+    pool: list[int] = list(range(m_attach))  # seed clique-ish start
+    for new in range(m_attach, n):
+        chosen: set[int] = set()
+        while len(chosen) < m_attach:
+            if pool:
+                cand = int(pool[rng.integers(0, len(pool))])
+            else:  # first vertex: uniform fallback
+                cand = int(rng.integers(0, new))
+            if cand != new:
+                chosen.add(cand)
+        for c in chosen:
+            src_list.append(new)
+            trg_list.append(c)
+            pool.extend((new, c))
+    return (
+        np.asarray(src_list, dtype=np.int64),
+        np.asarray(trg_list, dtype=np.int64),
+    )
+
+
+def random_tree(n: int, seed: int | None = 0):
+    """Uniform random recursive tree: vertex i attaches to a random j < i."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = _rng(seed)
+    children = np.arange(1, n, dtype=np.int64)
+    parents = np.array(
+        [int(rng.integers(0, i)) for i in range(1, n)], dtype=np.int64
+    )
+    return parents, children
+
+
+def uniform_weights(m: int, lo: float = 1.0, hi: float = 10.0, seed: int | None = 0):
+    """m uniform weights in [lo, hi) (SSSP-style edge weights)."""
+    if hi <= lo:
+        raise ValueError("hi must exceed lo")
+    return _rng(seed).uniform(lo, hi, size=m)
+
+
+GENERATORS = {
+    "barabasi_albert": barabasi_albert,
+    "erdos_renyi": erdos_renyi,
+    "rmat": rmat,
+    "watts_strogatz": watts_strogatz,
+    "grid_2d": grid_2d,
+    "path": path,
+    "cycle": cycle,
+    "star": star,
+    "complete": complete,
+    "random_tree": random_tree,
+}

@@ -1,0 +1,69 @@
+"""Edge-list file I/O.
+
+A tiny, dependency-free interchange format: one ``u v [weight]`` line per
+edge, ``#`` comments, and an optional header ``# vertices: N``.  Round-
+trips through :func:`write_edge_list` / :func:`read_edge_list`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+
+def write_edge_list(
+    path,
+    n_vertices: int,
+    sources,
+    targets,
+    weights=None,
+) -> None:
+    src = np.asarray(sources)
+    trg = np.asarray(targets)
+    with Path(path).open("w") as f:
+        f.write(f"# vertices: {n_vertices}\n")
+        if weights is None:
+            for u, v in zip(src, trg):
+                f.write(f"{int(u)} {int(v)}\n")
+        else:
+            w = np.asarray(weights)
+            for u, v, x in zip(src, trg, w):
+                f.write(f"{int(u)} {int(v)} {float(x)!r}\n")
+
+
+def read_edge_list(path) -> tuple[int, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Returns (n_vertices, sources, targets, weights-or-None)."""
+    n_vertices = -1
+    src: list[int] = []
+    trg: list[int] = []
+    w: list[float] = []
+    saw_weights: Optional[bool] = None
+    with Path(path).open() as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("vertices:"):
+                    n_vertices = int(body.split(":", 1)[1])
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(f"{path}:{line_no}: expected 'u v [w]', got {line!r}")
+            has_w = len(parts) == 3
+            if saw_weights is None:
+                saw_weights = has_w
+            elif saw_weights != has_w:
+                raise ValueError(f"{path}:{line_no}: inconsistent weight columns")
+            src.append(int(parts[0]))
+            trg.append(int(parts[1]))
+            if has_w:
+                w.append(float(parts[2]))
+    srcs = np.asarray(src, dtype=np.int64)
+    trgs = np.asarray(trg, dtype=np.int64)
+    if n_vertices < 0:
+        n_vertices = int(max(srcs.max(initial=-1), trgs.max(initial=-1)) + 1)
+    return n_vertices, srcs, trgs, (np.asarray(w) if saw_weights else None)

@@ -1,0 +1,73 @@
+"""The paper's core contribution: declarative patterns, compiled to
+messages (see DESIGN.md Secs. 1 and 3, and paper Secs. III-IV)."""
+
+from .action import Action, Assign, Condition, Generator, ModifyCall
+from .errors import PatternValidationError, PlanningError
+from .executor import BoundAction, BoundPattern, bind
+from .expr import (
+    Alias,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Contains,
+    Expr,
+    GenVar,
+    InputVertex,
+    PatternTypeError,
+    PropRead,
+    SrcOf,
+    TrgOf,
+    fn,
+    src,
+    trg,
+)
+from .lint import LintIssue, check_pattern, lint_action, lint_pattern
+from .locality import LocalityAnalysis, LocalityTree, required_localities
+from .pattern import Pattern, PropertyDecl
+from .planner import ActionPlan, CondPlan, Planner, Step, compile_action
+
+__all__ = [
+    "Action",
+    "ActionPlan",
+    "Alias",
+    "Assign",
+    "BinOp",
+    "BoolOp",
+    "BoundAction",
+    "BoundPattern",
+    "Call",
+    "Compare",
+    "CondPlan",
+    "Condition",
+    "Const",
+    "Contains",
+    "Expr",
+    "GenVar",
+    "Generator",
+    "InputVertex",
+    "LintIssue",
+    "LocalityAnalysis",
+    "LocalityTree",
+    "ModifyCall",
+    "Pattern",
+    "PatternTypeError",
+    "PatternValidationError",
+    "Planner",
+    "PlanningError",
+    "PropRead",
+    "PropertyDecl",
+    "SrcOf",
+    "Step",
+    "TrgOf",
+    "bind",
+    "check_pattern",
+    "compile_action",
+    "fn",
+    "lint_action",
+    "lint_pattern",
+    "required_localities",
+    "src",
+    "trg",
+]

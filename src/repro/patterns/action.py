@@ -1,0 +1,369 @@
+"""Actions: single-vertex-rooted computations inside a pattern.
+
+From the paper's grammar (Sec. III-C)::
+
+    <action> ::= <name> '(' vertex <name> ')' '{'
+                    <generator>? <aliases>? <conditions> '}'
+
+An action has exactly one input vertex, at most one generator (one level
+of "fan out"), any number of aliases (pure textual shortcuts), and a chain
+of conditions, each guarding property-map modifications.  Conditions form
+if / else-if / else groups exactly as a C++ if-else chain would.
+
+The ``work`` hook is part of the action *schema* here only as a default;
+strategies set it on the **bound** action
+(:class:`repro.patterns.executor.BoundAction`) at run time, which is the
+paper's customization point for dependency handling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .errors import PatternValidationError
+from .expr import (
+    EDGE,
+    SET,
+    VERTEX,
+    Alias,
+    Expr,
+    GenVar,
+    InputVertex,
+    MethodCallExpr,
+    PatternTypeError,
+    PropRead,
+    unalias,
+    wrap,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pattern import Pattern
+
+BUILTIN_GENERATORS = ("out_edges", "in_edges", "adj")
+
+#: Mutating methods allowed on set-valued property maps, with their
+#: "did the value change?" semantics used for dependency detection.
+SET_METHODS = {"insert", "remove"}
+
+
+class Generator:
+    """The action's single fan-out source."""
+
+    def __init__(self, source: str | PropRead, var: GenVar) -> None:
+        self.source = source  # builtin name or a set-valued PropRead
+        self.var = var
+
+    @property
+    def is_builtin(self) -> bool:
+        return isinstance(self.source, str)
+
+    def describe(self) -> str:
+        src = self.source if self.is_builtin else self.source.pretty()
+        if self.is_builtin:
+            src = f"{self.source}(v)"
+        return f"generator: {self.var.name} in {src}"
+
+
+class Assign:
+    """``target = value`` modification of a property map."""
+
+    def __init__(self, target: PropRead, value: Expr) -> None:
+        self.target = target
+        self.value = value
+
+    def describe(self) -> str:
+        return f"{self.target.pretty()} = {self.value.pretty()};"
+
+    def reads(self) -> list[PropRead]:
+        # the *index* of the target is read; the target slot itself is written
+        return self.target.index.reads() + self.value.reads()
+
+
+class AugAdd:
+    """``target += value`` accumulation (scalar maps).
+
+    Accumulations are guaranteed atomic per the paper's "every
+    modification ... is guaranteed to be atomic" rule; the executor
+    applies them under the vertex lock.
+
+    ``+=`` is a read-modify-write, so the target counts as *read* for the
+    paper's dependency rule ("if an action not only modifies but also
+    reads this value ... the vertex is marked as dependent"): actual
+    changes through an accumulation fire the work hook.  The read happens
+    at the modification site itself, so it never adds gather traffic.
+    """
+
+    def __init__(self, target: PropRead, value: Expr) -> None:
+        if target.kind == SET:
+            raise PatternTypeError("use .insert() for set-valued maps, not add()")
+        self.target = target
+        self.value = value
+
+    def describe(self) -> str:
+        return f"{self.target.pretty()} += {self.value.pretty()};"
+
+    def reads(self) -> list[PropRead]:
+        return [self.target] + self.target.index.reads() + self.value.reads()
+
+
+class ModifyCall:
+    """Method-call modification, e.g. ``preds[v].insert(u)``.
+
+    The paper's leftmost-is-modified rule: the method's receiver is the
+    modified value; all argument property reads are plain reads.
+    """
+
+    def __init__(self, target: PropRead, method: str, args: tuple) -> None:
+        if method not in SET_METHODS:
+            raise PatternTypeError(
+                f"unsupported modification method {method!r}; "
+                f"supported: {sorted(SET_METHODS)}"
+            )
+        if target.kind != SET:
+            raise PatternTypeError(
+                f"{target.pretty()} is not set-valued; .{method}() needs a "
+                "'set' property"
+            )
+        self.target = target
+        self.method = method
+        self.args = args
+
+    def describe(self) -> str:
+        args = ", ".join(a.pretty() for a in self.args)
+        return f"{self.target.pretty()}.{self.method}({args});"
+
+    def reads(self) -> list[PropRead]:
+        out = self.target.index.reads()
+        for a in self.args:
+            out.extend(a.reads())
+        return out
+
+
+Modification = Assign | ModifyCall | AugAdd
+
+
+class Condition:
+    """One arm of an if / else-if / else chain."""
+
+    def __init__(self, action: "Action", kind: str, test: Optional[Expr]) -> None:
+        if kind not in ("if", "elif", "else"):
+            raise ValueError(f"bad condition kind {kind!r}")
+        if (test is None) != (kind == "else"):
+            raise PatternValidationError(
+                "'else' takes no test; 'if'/'elif' require one"
+            )
+        self.action = action
+        self.kind = kind
+        self.test = test
+        self.modifications: list[Modification] = []
+        self.group = -1  # assigned by the action builder
+
+    # -- context manager: scope modifications to this condition ---------------
+    def __enter__(self) -> "Condition":
+        self.action._open_condition(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.action._close_condition(self, failed=exc_type is not None)
+
+    def describe(self, indent: str = "") -> str:
+        if self.kind == "else":
+            head = "else"
+        elif self.kind == "elif":
+            head = f"else if ({self.test.pretty()})"
+        else:
+            head = f"if ({self.test.pretty()})"
+        body = "\n".join(f"{indent}  {m.describe()}" for m in self.modifications)
+        return f"{indent}{head} {{\n{body}\n{indent}}}"
+
+
+class Action:
+    """Builder and container for one action."""
+
+    def __init__(self, pattern: "Pattern", name: str, input_name: str = "v") -> None:
+        self.pattern = pattern
+        self.name = name
+        self.input = InputVertex(name, input_name)
+        self.generator: Optional[Generator] = None
+        self.aliases: list[Alias] = []
+        self.conditions: list[Condition] = []
+        self._open: Optional[Condition] = None
+        self._last_kind: Optional[str] = None
+
+    # -- generator declaration (at most one, Sec. III-C) ----------------------
+    def _set_generator(self, gen: Generator) -> GenVar:
+        if self.generator is not None:
+            raise PatternValidationError(
+                f"action {self.name!r} already has a generator; the paper's "
+                "grammar allows at most one level of fan-out"
+            )
+        if self.conditions or self._open:
+            raise PatternValidationError(
+                "declare the generator before any conditions"
+            )
+        self.generator = gen
+        return gen.var
+
+    def out_edges(self, name: str = "e") -> GenVar:
+        return self._set_generator(
+            Generator("out_edges", GenVar(self.name, EDGE, name))
+        )
+
+    def in_edges(self, name: str = "e") -> GenVar:
+        return self._set_generator(
+            Generator("in_edges", GenVar(self.name, EDGE, name))
+        )
+
+    def adj(self, name: str = "u") -> GenVar:
+        return self._set_generator(Generator("adj", GenVar(self.name, VERTEX, name)))
+
+    def generate_from(self, source: PropRead, name: str = "u") -> GenVar:
+        """Generator over a set-valued property map of vertices or edges."""
+        source = unalias(source)
+        if not isinstance(source, PropRead) or source.kind != SET:
+            raise PatternTypeError(
+                "generate_from requires a set-valued property read indexed by "
+                "the input vertex"
+            )
+        if source.index.key() != self.input.key():
+            raise PatternValidationError(
+                "the generator set must be obtained at the action's input "
+                "vertex (paper Sec. III-C)"
+            )
+        return self._set_generator(
+            Generator(source, GenVar(self.name, VERTEX, name))
+        )
+
+    # -- aliases -------------------------------------------------------------------
+    def let(self, name: str, expr) -> Alias:
+        """Name an expression (aliases are paste-in shortcuts, Sec. III-C)."""
+        alias = Alias(name, wrap(expr))
+        self.aliases.append(alias)
+        return alias
+
+    # -- conditions -------------------------------------------------------------------
+    def when(self, test) -> Condition:
+        return Condition(self, "if", wrap(test))
+
+    def elsewhen(self, test) -> Condition:
+        return Condition(self, "elif", wrap(test))
+
+    def otherwise(self) -> Condition:
+        return Condition(self, "else", None)
+
+    def _open_condition(self, cond: Condition) -> None:
+        if self._open is not None:
+            raise PatternValidationError("conditions do not nest")
+        if cond.kind in ("elif", "else") and self._last_kind not in ("if", "elif"):
+            raise PatternValidationError(
+                f"{cond.kind!r} must directly follow an 'if' or 'elif'"
+            )
+        self._open = cond
+
+    def _close_condition(self, cond: Condition, failed: bool) -> None:
+        self._open = None
+        if failed:
+            return
+        if not cond.modifications:
+            raise PatternValidationError(
+                f"condition in action {self.name!r} has no modifications; "
+                "every condition body must modify at least one property map"
+            )
+        # group numbering: a new 'if' starts a group
+        if cond.kind == "if" or not self.conditions:
+            cond.group = (self.conditions[-1].group + 1) if self.conditions else 0
+        else:
+            cond.group = self.conditions[-1].group
+        self._last_kind = cond.kind
+        self.conditions.append(cond)
+
+    # -- modifications (legal only inside an open condition) ------------------------
+    def _require_open(self) -> Condition:
+        if self._open is None:
+            raise PatternValidationError(
+                "modifications are only legal inside a `with action.when(...)` block"
+            )
+        return self._open
+
+    def set(self, target: PropRead, value) -> None:
+        """``target = value``; target must be a property read."""
+        cond = self._require_open()
+        target = unalias(target)
+        if not isinstance(target, PropRead):
+            raise PatternTypeError(
+                f"assignment target must be a property access, got {target!r}"
+            )
+        cond.modifications.append(Assign(target, wrap(value)))
+
+    def add(self, target: PropRead, value) -> None:
+        """``target += value`` (atomic accumulation, e.g. PageRank sums)."""
+        cond = self._require_open()
+        target = unalias(target)
+        if not isinstance(target, PropRead):
+            raise PatternTypeError(
+                f"accumulation target must be a property access, got {target!r}"
+            )
+        cond.modifications.append(AugAdd(target, wrap(value)))
+
+    def insert(self, target: PropRead, *args) -> None:
+        """``target.insert(args...)`` for set-valued maps."""
+        cond = self._require_open()
+        target = unalias(target)
+        cond.modifications.append(
+            ModifyCall(target, "insert", tuple(wrap(a) for a in args))
+        )
+
+    def remove(self, target: PropRead, *args) -> None:
+        cond = self._require_open()
+        target = unalias(target)
+        cond.modifications.append(
+            ModifyCall(target, "remove", tuple(wrap(a) for a in args))
+        )
+
+    def modify(self, call: MethodCallExpr) -> None:
+        """Record a method-call expression built via ``p[x].method(...)``."""
+        cond = self._require_open()
+        call = unalias(call)
+        if not isinstance(call, MethodCallExpr):
+            raise PatternTypeError("modify() expects a property method call")
+        cond.modifications.append(
+            ModifyCall(call.target, call.method_name, call.args)
+        )
+
+    # -- whole-action introspection ---------------------------------------------------
+    def all_reads(self) -> list[PropRead]:
+        """Every property read in tests and modification expressions."""
+        out: list[PropRead] = []
+        for c in self.conditions:
+            if c.test is not None:
+                out.extend(c.test.reads())
+            for m in c.modifications:
+                out.extend(m.reads())
+        return out
+
+    def written_props(self) -> set[str]:
+        return {
+            m.target.decl.name for c in self.conditions for m in c.modifications
+        }
+
+    def read_props(self) -> set[str]:
+        return {r.decl.name for r in self.all_reads()}
+
+    def dependent_props(self) -> set[str]:
+        """Property maps both read and written: modifications of these mark
+        the written vertex *dependent* and fire the work hook (Sec. III-C)."""
+        return self.read_props() & self.written_props()
+
+    def describe(self, indent: str = "") -> str:
+        lines = [f"{indent}{self.name}(vertex {self.input.name}) {{"]
+        if self.generator is not None:
+            lines.append(f"{indent}  {self.generator.describe()}")
+        for a in self.aliases:
+            lines.append(f"{indent}  alias {a.name} = {a.expr.pretty()}")
+        for c in self.conditions:
+            lines.append(c.describe(indent + "  "))
+        lines.append(f"{indent}}}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Action({self.pattern.name}.{self.name})"

@@ -1,0 +1,11 @@
+"""Pattern validation errors."""
+
+from __future__ import annotations
+
+
+class PatternValidationError(Exception):
+    """A pattern/action is structurally invalid (bad grammar usage)."""
+
+
+class PlanningError(Exception):
+    """The planner could not synthesize communication for an action."""

@@ -1,0 +1,475 @@
+"""Pattern execution over the active-message runtime.
+
+:func:`bind` materializes a pattern against a machine and a distributed
+graph: property declarations become distributed property maps, each action
+is compiled (:mod:`repro.patterns.planner`) and registered as a typed
+active message, and the result — a :class:`BoundPattern` — exposes
+:class:`BoundAction` handles that strategies invoke inside epochs.
+
+Runtime walk (per message): the handler resumes the compiled step chain at
+``(condition, step)`` with the environment carried in the payload.  Steps
+whose locality equals the current vertex run inline (no message — the
+paper's merging/elision); a step at a different vertex sends one message
+addressed by the vertex's owner (object-based addressing).  Gather steps
+read local property values and "routing" values (vertex ids of child
+localities); the evaluate step re-reads its local values *inside the
+vertex's lock*, tests the condition, and applies the merged modification
+group — the paper's single-vertex consistency guarantee (Sec. IV-A/B).
+
+Dependency detection (Sec. IV-C): when an action both reads and writes a
+property map, any actual change of that map's value marks the written
+vertex dependent and calls the action's ``work`` hook — the customization
+point strategies use (``fixed_point`` re-runs the action, Delta-stepping
+re-buckets the vertex).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from ..graph.distributed import DistributedGraph
+from ..props.lockmap import LockMap
+from ..props.property_map import EdgePropertyMap, VertexPropertyMap
+from ..runtime.epoch import Epoch
+from ..runtime.machine import Machine
+from .action import Action, Assign, AugAdd, ModifyCall
+from .errors import PlanningError
+from .expr import (
+    EDGE,
+    SET,
+    VERTEX,
+    Alias,
+    BinOp,
+    BoolOp,
+    Call,
+    Compare,
+    Const,
+    Contains,
+    Expr,
+    GenVar,
+    InputVertex,
+    PropRead,
+    SrcOf,
+    TrgOf,
+    unalias,
+)
+from .pattern import Pattern, PropertyDecl, default_for
+from .planner import ActionPlan, compile_action
+
+WorkHook = Callable[..., None]  # work(ctx, vertex)
+
+
+class _Evaluator:
+    """Evaluates expressions given a carried env and a local reader."""
+
+    def __init__(self, bound: "BoundPattern", rank: Optional[int]) -> None:
+        self.bound = bound
+        self.rank = rank
+
+    def read(self, decl: PropertyDecl, index_value: int):
+        pm = self.bound.maps[decl.name]
+        return pm.get(index_value, rank=self.rank)
+
+    def eval(self, expr: Expr, env: dict, allow_reads: bool = True):
+        expr = unalias(expr)
+        k = expr.key()
+        if k in env:
+            return env[k]
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, PropRead):
+            if not allow_reads:
+                raise PlanningError(
+                    f"{expr.pretty()} needed but not gathered (planner bug?)"
+                )
+            idx = self.eval(expr.index, env, allow_reads)
+            return self.read(expr.decl, idx)
+        if isinstance(expr, (InputVertex, GenVar)):
+            raise PlanningError(
+                f"{expr.pretty()} missing from the environment (planner bug?)"
+            )
+        if isinstance(expr, SrcOf):
+            gid = self.eval(expr.edge, env, allow_reads)
+            return self.bound.graph.src(gid)
+        if isinstance(expr, TrgOf):
+            gid = self.eval(expr.edge, env, allow_reads)
+            return self.bound.graph.trg(gid)
+        if isinstance(expr, BoolOp):
+            left = self.eval(expr.left, env, allow_reads)
+            if expr.op == "not":
+                return not left
+            if expr.op == "and":
+                return bool(left) and bool(self.eval(expr.right, env, allow_reads))
+            return bool(left) or bool(self.eval(expr.right, env, allow_reads))
+        if isinstance(expr, Contains):
+            container = self.eval(expr.read, env, allow_reads)
+            item = self.eval(expr.item, env, allow_reads)
+            return container is not None and item in container
+        if isinstance(expr, (BinOp, Compare, Call)):
+            vals = [self.eval(c, env, allow_reads) for c in expr.children()]
+            return expr.apply(*vals)
+        raise PlanningError(f"cannot evaluate {expr!r}")  # pragma: no cover
+
+
+class BoundAction:
+    """A compiled, machine-registered action; what strategies invoke."""
+
+    def __init__(self, bound: "BoundPattern", plan: ActionPlan) -> None:
+        self.bound = bound
+        self.plan = plan
+        self.action = plan.action
+        self.name = plan.action.name
+        #: The paper's work hook: ``work(ctx, vertex)`` called when a
+        #: dependency is discovered.  ``None`` = dependencies ignored.
+        self.work: Optional[WorkHook] = None
+        #: Count of property values actually changed by this action.
+        self.change_count = 0
+        #: Count of modification statements executed (even if value equal).
+        self.assign_count = 0
+        # message slot table: env key -> small int
+        keys: list = sorted(self._all_keys(), key=repr)
+        self._slot_of = {k: i for i, k in enumerate(keys)}
+        self._key_of = keys
+        # Precompute per-step keys (hot path in _walk's elision check).
+        for cp in plan.cond_plans:
+            for s in cp.steps:
+                s._loc_key = unalias(s.locality).key()
+                s._read_keys = [r.key() for r in s.reads]
+                s._routing_keys = [r.key() for r in s.routing]
+                s._fold_keys = [f.key() for f in s.folds]
+        # Unique message-type name: binding the same pattern repeatedly on
+        # one machine (e.g. one bind per source in betweenness) must not
+        # collide in the registry.
+        base_name = f"pat.{bound.pattern.name}.{self.name}"
+        name = base_name
+        k = 1
+        while name in bound.machine.registry:
+            k += 1
+            name = f"{base_name}~{k}"
+        self.mtype = bound.machine.register(
+            name,
+            self._handler,
+            address_of=lambda p: p[0],
+            **bound.layer_config.get(self.name, {}),
+        )
+
+    # -- slot table -----------------------------------------------------------
+    def _all_keys(self) -> set:
+        keys = set(self.plan.base_keys)
+        for cp in self.plan.cond_plans:
+            for s in cp.steps:
+                keys.add(unalias(s.locality).key())
+                keys |= {r.key() for r in s.reads}
+                keys |= {r.key() for r in s.routing}
+                keys |= {f.key() for f in s.folds}
+                keys |= set(s.live_in) | set(s.live_out)
+        return keys
+
+    # -- invocation -------------------------------------------------------------
+    def invoke(self, target: Union[Epoch, Machine], v: int) -> None:
+        """Start the action at vertex ``v`` (driver side)."""
+        machine = target.machine if isinstance(target, Epoch) else target
+        machine.inject(self.mtype, (int(v), -1, 0))
+
+    def invoke_from(self, ctx, v: int) -> None:
+        """Start the action at ``v`` from inside a handler (work hooks)."""
+        ctx.send(self.mtype, (int(v), -1, 0))
+
+    def __call__(self, target: Union[Epoch, Machine], v: int) -> None:
+        self.invoke(target, v)
+
+    # -- payloads ------------------------------------------------------------------
+    def _pack(self, dest: int, ci: int, si: int, env: dict, carry: set) -> tuple:
+        flat: list = [int(dest), ci, si]
+        for k, val in env.items():
+            if k in carry:
+                flat.append(self._slot_of[k])
+                flat.append(val)
+        return tuple(flat)
+
+    def _unpack(self, payload: tuple) -> tuple[int, int, int, dict]:
+        dest, ci, si = payload[0], payload[1], payload[2]
+        env: dict = {}
+        for i in range(3, len(payload), 2):
+            env[self._key_of[payload[i]]] = payload[i + 1]
+        return dest, ci, si, env
+
+    # -- handler ---------------------------------------------------------------------
+    def _handler(self, ctx, payload: tuple) -> None:
+        dest, ci, si, env = self._unpack(payload)
+        if ci == -1:
+            self._run_generator(ctx, dest)
+        else:
+            # restore the destination step's locality value from the
+            # address slot (elided from the carried env when packing)
+            step = self.plan.cond_plans[ci].steps[si]
+            env.setdefault(step._loc_key, dest)
+            self._walk(ctx, dest, ci, si, env)
+
+    def _run_generator(self, ctx, v: int) -> None:
+        g = self.bound.graph
+        a = self.action
+        input_key = a.input.key()
+        first = 0  # first condition index
+        gen = a.generator
+        if gen is None:
+            self._walk(ctx, v, first, 0, {input_key: v})
+            return
+        gen_key = gen.var.key()
+        if gen.is_builtin:
+            if gen.source == "out_edges":
+                src_key = SrcOf(gen.var).key()
+                trg_key = TrgOf(gen.var).key()
+                gids, targets = g.out_edges(v)
+                for gid, t in zip(gids.tolist(), targets.tolist()):
+                    self._walk(
+                        ctx,
+                        v,
+                        first,
+                        0,
+                        {input_key: v, gen_key: gid, src_key: v, trg_key: t},
+                    )
+            elif gen.source == "in_edges":
+                src_key = SrcOf(gen.var).key()
+                trg_key = TrgOf(gen.var).key()
+                gids, sources = g.in_edges(v)
+                for gid, s in zip(gids.tolist(), sources.tolist()):
+                    self._walk(
+                        ctx,
+                        v,
+                        first,
+                        0,
+                        {input_key: v, gen_key: gid, src_key: s, trg_key: v},
+                    )
+            else:  # adj
+                for u in g.adj(v).tolist():
+                    self._walk(ctx, v, first, 0, {input_key: v, gen_key: u})
+        else:
+            # set-valued property map generator, read at v
+            ev = _Evaluator(self.bound, ctx.rank)
+            items = ev.eval(gen.source, {input_key: v})
+            for u in items if items is not None else ():
+                self._walk(ctx, v, first, 0, {input_key: v, gen_key: int(u)})
+
+    # -- the step walker ----------------------------------------------------------------
+    def _walk(self, ctx, at_vertex: int, ci: int, si: int, env: dict) -> None:
+        plans = self.plan.cond_plans
+        optimized = self.plan.mode == "optimized"
+        ev = _Evaluator(self.bound, ctx.rank)
+        while True:
+            cp = plans[ci]
+            step = cp.steps[si]
+            loc_key = step._loc_key
+            if loc_key not in env:
+                raise PlanningError(
+                    f"routing value {step.locality.pretty()} unknown at step "
+                    f"{ci}.{si} of {self.name} (planner bug?)"
+                )
+            dest = env[loc_key]
+
+            # Run-time elision (optimized mode): skip gather hops whose
+            # values are all already in the environment.
+            if (
+                optimized
+                and step.kind == "gather"
+                and all(k in env for k in step._read_keys)
+                and all(k in env for k in step._routing_keys)
+                and all(k in env for k in step._fold_keys)
+            ):
+                si += 1
+                continue
+
+            if dest != at_vertex:
+                # The destination step's own locality value rides in the
+                # address slot (payload[0]); don't duplicate it in the env.
+                carry = step.live_in - {loc_key}
+                ctx.send(self.mtype, self._pack(dest, ci, si, env, carry))
+                return
+
+            if step.kind == "gather":
+                for r in step.reads:
+                    if r.key() not in env or not optimized:
+                        idx = ev.eval(r.index, env)
+                        env[r.key()] = ev.read(r.decl, idx)
+                for child in step.routing:
+                    if child.key() not in env or not optimized:
+                        env[child.key()] = ev.eval(child, env)
+                for f in step.folds:
+                    if f.key() not in env:
+                        env[f.key()] = ev.eval(f, env)
+                si += 1
+                continue
+
+            # eval / modify steps run under the vertex lock: condition
+            # reads at this vertex and the merged first modification are
+            # synchronized (Sec. IV-B).
+            with self.bound.lockmap.lock(at_vertex):
+                if step.kind == "eval":
+                    local_env = dict(env)
+                    for r in step.reads:
+                        idx = ev.eval(r.index, local_env)
+                        local_env[r.key()] = ev.read(r.decl, idx)
+                    ok = (
+                        True
+                        if step.test is None
+                        else bool(ev.eval(step.test, local_env))
+                    )
+                    if ok:
+                        self._apply_mods(ctx, ev, step.mods, local_env)
+                        taken = True
+                    else:
+                        taken = False
+                else:  # modify
+                    self._apply_mods(ctx, ev, step.mods, env)
+                    taken = True
+
+            if step.kind == "modify" or taken:
+                if si + 1 < len(cp.steps):
+                    si += 1
+                    continue
+                nxt = cp.next_group
+            else:
+                nxt = cp.next_on_false if cp.next_on_false is not None else cp.next_group
+            if nxt is None:
+                return
+            ci, si = nxt, 0
+
+    def _apply_mods(self, ctx, ev: _Evaluator, mods, env: dict) -> None:
+        dependent = self.plan.dependent_props
+        for m in mods:
+            target = m.target
+            w = ev.eval(target.index, env)
+            pm = self.bound.maps[target.decl.name]
+            changed = False
+            if isinstance(m, Assign):
+                new = ev.eval(m.value, env)
+                old = pm.get(w, rank=ctx.rank)
+                self.assign_count += 1
+                if old != new:
+                    pm.set(w, new, rank=ctx.rank)
+                    changed = True
+            elif isinstance(m, AugAdd):
+                delta = ev.eval(m.value, env)
+                old = pm.get(w, rank=ctx.rank)
+                self.assign_count += 1
+                if delta != 0:
+                    pm.set(w, old + delta, rank=ctx.rank)
+                    changed = True
+            elif isinstance(m, ModifyCall):
+                container = pm.get(w, rank=ctx.rank)
+                if container is None:
+                    container = set()
+                    pm.set(w, container, rank=ctx.rank)
+                args = [ev.eval(a, env) for a in m.args]
+                self.assign_count += 1
+                if m.method == "insert":
+                    item = args[0] if len(args) == 1 else tuple(args)
+                    if item not in container:
+                        container.add(item)
+                        changed = True
+                elif m.method == "remove":
+                    item = args[0] if len(args) == 1 else tuple(args)
+                    if item in container:
+                        container.discard(item)
+                        changed = True
+            if changed:
+                self.change_count += 1
+                # refresh env copies of this value (later mods in the group)
+                k = ("read", target.decl.name, unalias(target.index).key())
+                if k in env:
+                    env[k] = pm.get(w, rank=ctx.rank)
+                if target.decl.name in dependent:
+                    ctx.stats.count_work_item()
+                    if self.work is not None:
+                        self.work(ctx, w)
+
+    # -- introspection ------------------------------------------------------------
+    def describe(self) -> str:
+        return self.plan.describe()
+
+    def reset_counters(self) -> None:
+        self.change_count = 0
+        self.assign_count = 0
+
+
+class BoundPattern:
+    """A pattern bound to a machine + graph with materialized maps."""
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        machine: Machine,
+        graph: DistributedGraph,
+        *,
+        props: Optional[dict] = None,
+        mode: str = "optimized",
+        lockmap: Optional[LockMap] = None,
+        layers: Optional[dict] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.machine = machine
+        self.graph = graph
+        self.lockmap = lockmap or LockMap(graph.n_vertices)
+        self.layer_config = layers or {}
+        if machine.resolver.owner_map is None:
+            machine.attach_graph(graph)
+        self.maps: dict[str, Union[VertexPropertyMap, EdgePropertyMap]] = {}
+        props = props or {}
+        for name, decl in pattern.properties.items():
+            if name in props:
+                self.maps[name] = props[name]
+                continue
+            default = decl.default
+            if decl.value_kind == SET:
+                default = None  # sets created lazily on first insert
+            elif default is None:
+                default = default_for(decl)
+            if decl.target_kind == VERTEX:
+                self.maps[name] = VertexPropertyMap(
+                    graph, decl.dtype, default, name=name
+                )
+            else:
+                self.maps[name] = EdgePropertyMap(
+                    graph, decl.dtype, default, name=name
+                )
+        self.actions: dict[str, BoundAction] = {}
+        for name, action in pattern.actions.items():
+            plan = compile_action(action, mode)
+            self.actions[name] = BoundAction(self, plan)
+
+    def __getitem__(self, action_name: str) -> BoundAction:
+        return self.actions[action_name]
+
+    def map(self, name: str):
+        return self.maps[name]
+
+    def describe(self) -> str:
+        return "\n\n".join(a.describe() for a in self.actions.values())
+
+
+def bind(
+    pattern: Pattern,
+    machine: Machine,
+    graph: DistributedGraph,
+    *,
+    props: Optional[dict] = None,
+    mode: str = "optimized",
+    lockmap: Optional[LockMap] = None,
+    layers: Optional[dict] = None,
+) -> BoundPattern:
+    """Bind ``pattern`` to ``machine``/``graph``; compile all actions.
+
+    ``props`` supplies pre-built property maps by declaration name (e.g. a
+    weight map filled from the graph builder); missing ones are created
+    with declaration defaults.  ``layers`` configures per-action message
+    layers: ``{"relax": {"coalescing": 64, "reduction": ...}}``.
+    """
+    return BoundPattern(
+        pattern,
+        machine,
+        graph,
+        props=props,
+        mode=mode,
+        lockmap=lockmap,
+        layers=layers,
+    )

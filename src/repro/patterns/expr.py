@@ -1,0 +1,499 @@
+"""Expression AST for pattern actions (paper Sec. III).
+
+Expressions are built by Python operator overloading on property
+declarations and action variables, e.g.::
+
+    dist[trg(e)] > dist[v] + weight[e]
+
+yields a :class:`Compare` over :class:`PropRead` and :class:`BinOp` nodes.
+The paper restricts expressions to "arbitrary C++ expressions without side
+effects" in which vertices and edges come only from generators and
+property maps; this module enforces the same restrictions structurally —
+there is simply no node for anything else.
+
+Design notes
+------------
+* ``__eq__``/``__lt__``/... build :class:`Compare` nodes, so node identity
+  (not structural equality) is used for hashing; structural identity is
+  available via :meth:`Expr.key`.
+* Value kinds (``vertex``, ``edge``, ``scalar``, ``set``) are inferred
+  bottom-up; kinds drive locality analysis (vertex-valued expressions can
+  serve as localities, Def. 1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pattern import PropertyDecl
+
+VERTEX, EDGE, SCALAR, SET = "vertex", "edge", "scalar", "set"
+
+#: Pure functions callable inside patterns.
+PURE_FUNCTIONS = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+}
+
+
+class PatternTypeError(TypeError):
+    """An expression was built that patterns cannot express."""
+
+
+class Expr:
+    """Base expression node."""
+
+    kind: str = SCALAR
+
+    # -- arithmetic ---------------------------------------------------------
+    def __add__(self, other):
+        return BinOp("+", self, wrap(other))
+
+    def __radd__(self, other):
+        return BinOp("+", wrap(other), self)
+
+    def __sub__(self, other):
+        return BinOp("-", self, wrap(other))
+
+    def __rsub__(self, other):
+        return BinOp("-", wrap(other), self)
+
+    def __mul__(self, other):
+        return BinOp("*", self, wrap(other))
+
+    def __rmul__(self, other):
+        return BinOp("*", wrap(other), self)
+
+    def __truediv__(self, other):
+        return BinOp("/", self, wrap(other))
+
+    def __rtruediv__(self, other):
+        return BinOp("/", wrap(other), self)
+
+    def __neg__(self):
+        return BinOp("-", Const(0), self)
+
+    # -- comparisons (build Compare nodes; identity hashing retained) ---------
+    def __lt__(self, other):
+        return Compare("<", self, wrap(other))
+
+    def __le__(self, other):
+        return Compare("<=", self, wrap(other))
+
+    def __gt__(self, other):
+        return Compare(">", self, wrap(other))
+
+    def __ge__(self, other):
+        return Compare(">=", self, wrap(other))
+
+    def __eq__(self, other):  # noqa: D105
+        return Compare("==", self, wrap(other))
+
+    def __ne__(self, other):  # noqa: D105
+        return Compare("!=", self, wrap(other))
+
+    __hash__ = object.__hash__
+
+    # -- boolean composition -----------------------------------------------------
+    def and_(self, other):
+        return BoolOp("and", self, wrap(other))
+
+    def or_(self, other):
+        return BoolOp("or", self, wrap(other))
+
+    def not_(self):
+        return BoolOp("not", self, None)
+
+    # -- structure ------------------------------------------------------------------
+    def children(self) -> Iterable["Expr"]:
+        return ()
+
+    def key(self):
+        """Structural identity key (hashable); used for localities & CSE.
+
+        Memoized: nodes are immutable after construction and keys are
+        consulted on every executor step, so each node computes its key
+        once (a measured hot path).
+        """
+        k = self.__dict__.get("_key")
+        if k is None:
+            k = self._compute_key()
+            self.__dict__["_key"] = k
+        return k
+
+    def _compute_key(self):
+        raise NotImplementedError
+
+    def same_as(self, other: "Expr") -> bool:
+        return self.key() == other.key()
+
+    def walk(self):
+        """Yield self and all descendants, pre-order."""
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def reads(self) -> list["PropRead"]:
+        """All property-map reads in this expression, in evaluation order."""
+        return [n for n in self.walk() if isinstance(n, PropRead)]
+
+    def __repr__(self) -> str:  # pragma: no cover - delegated to subclasses
+        return self.pretty()
+
+    def pretty(self) -> str:
+        raise NotImplementedError
+
+
+def wrap(value) -> Expr:
+    """Coerce Python literals to :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, bool, str)) or value is None:
+        return Const(value)
+    raise PatternTypeError(
+        f"cannot use {value!r} in a pattern expression; only numbers, strings, "
+        "None, and pattern values (property reads, generator variables) are allowed"
+    )
+
+
+class Const(Expr):
+    """A literal constant."""
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def _compute_key(self):
+        return ("const", self.value)
+
+    def pretty(self) -> str:
+        return repr(self.value)
+
+
+class InputVertex(Expr):
+    """The action's input vertex (named ``v`` in the paper's examples)."""
+
+    kind = VERTEX
+
+    def __init__(self, action_name: str, name: str = "v") -> None:
+        self.action_name = action_name
+        self.name = name
+
+    def _compute_key(self):
+        return ("input", self.action_name)
+
+    def pretty(self) -> str:
+        return self.name
+
+
+class GenVar(Expr):
+    """The generator-produced variable (an edge for ``out_edges``/
+    ``in_edges``, a vertex for ``adj`` or vertex-set property maps)."""
+
+    def __init__(self, action_name: str, kind: str, name: str) -> None:
+        if kind not in (VERTEX, EDGE):
+            raise PatternTypeError(f"generator produces vertices or edges, not {kind}")
+        self.action_name = action_name
+        self.kind = kind
+        self.name = name
+
+    def _compute_key(self):
+        return ("gen", self.action_name, self.kind)
+
+    def pretty(self) -> str:
+        return self.name
+
+
+class SrcOf(Expr):
+    """``src(e)``: source vertex of an edge (paper's special function)."""
+
+    kind = VERTEX
+
+    def __init__(self, edge: Expr) -> None:
+        if edge.kind != EDGE:
+            raise PatternTypeError(f"src() needs an edge, got {edge.kind}: {edge!r}")
+        self.edge = edge
+
+    def children(self):
+        return (self.edge,)
+
+    def _compute_key(self):
+        return ("src", self.edge.key())
+
+    def pretty(self) -> str:
+        return f"src({self.edge.pretty()})"
+
+
+class TrgOf(Expr):
+    """``trg(e)``: target vertex of an edge."""
+
+    kind = VERTEX
+
+    def __init__(self, edge: Expr) -> None:
+        if edge.kind != EDGE:
+            raise PatternTypeError(f"trg() needs an edge, got {edge.kind}: {edge!r}")
+        self.edge = edge
+
+    def children(self):
+        return (self.edge,)
+
+    def _compute_key(self):
+        return ("trg", self.edge.key())
+
+    def pretty(self) -> str:
+        return f"trg({self.edge.pretty()})"
+
+
+def src(edge: Expr) -> SrcOf:
+    return SrcOf(edge)
+
+
+def trg(edge: Expr) -> TrgOf:
+    return TrgOf(edge)
+
+
+class PropRead(Expr):
+    """``p[x]``: read of property map ``p`` at vertex/edge ``x``.
+
+    Its *kind* is the declared value kind of the map (a map may store
+    vertices — the paper's CC ``prnt`` map — making the read usable as a
+    locality or as another map's index).
+    """
+
+    def __init__(self, decl: "PropertyDecl", index: Expr) -> None:
+        if index.kind not in (VERTEX, EDGE):
+            raise PatternTypeError(
+                f"property maps are indexed by vertices or edges, got "
+                f"{index.kind}: {index!r}"
+            )
+        if decl.target_kind != index.kind:
+            raise PatternTypeError(
+                f"{decl.name} is a {decl.target_kind} property but was indexed "
+                f"with a {index.kind} expression {index!r}"
+            )
+        self.decl = decl
+        self.index = index
+        self.kind = decl.value_kind
+
+    def children(self):
+        return (self.index,)
+
+    def _compute_key(self):
+        return ("read", self.decl.name, self.index.key())
+
+    def pretty(self) -> str:
+        return f"{self.decl.name}[{self.index.pretty()}]"
+
+    # Set-valued maps expose method-call *modifications* (handled by the
+    # Action builder; calling them directly builds a ModifyCall record).
+    def method(self, name: str, *args) -> "MethodCallExpr":
+        return MethodCallExpr(self, name, tuple(wrap(a) for a in args))
+
+    def contains(self, item) -> "Contains":
+        return Contains(self, wrap(item))
+
+
+class Contains(Expr):
+    """``item in p[x]`` for set-valued maps (read-only membership test)."""
+
+    kind = SCALAR
+
+    def __init__(self, read: PropRead, item: Expr) -> None:
+        if read.kind != SET:
+            raise PatternTypeError("contains() requires a set-valued property")
+        self.read = read
+        self.item = item
+
+    def children(self):
+        return (self.read, self.item)
+
+    def _compute_key(self):
+        return ("contains", self.read.key(), self.item.key())
+
+    def pretty(self) -> str:
+        return f"({self.item.pretty()} in {self.read.pretty()})"
+
+
+class MethodCallExpr(Expr):
+    """A method call on a property value, e.g. ``preds[v].insert(u)``.
+
+    Only meaningful as a *modification* (the paper's vague-but-practical
+    "leftmost value is modified" rule); the Action builder records it as
+    such.
+    """
+
+    kind = SCALAR
+
+    def __init__(self, target: PropRead, method: str, args: tuple) -> None:
+        self.target = target
+        self.method_name = method
+        self.args = args
+
+    def children(self):
+        return (self.target, *self.args)
+
+    def _compute_key(self):
+        return (
+            "method",
+            self.target.key(),
+            self.method_name,
+            tuple(a.key() for a in self.args),
+        )
+
+    def pretty(self) -> str:
+        args = ", ".join(a.pretty() for a in self.args)
+        return f"{self.target.pretty()}.{self.method_name}({args})"
+
+
+class BinOp(Expr):
+    kind = SCALAR
+    _OPS = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in self._OPS:
+            raise PatternTypeError(f"unsupported operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _compute_key(self):
+        return ("bin", self.op, self.left.key(), self.right.key())
+
+    def apply(self, a, b):
+        return self._OPS[self.op](a, b)
+
+    def pretty(self) -> str:
+        return f"({self.left.pretty()} {self.op} {self.right.pretty()})"
+
+
+class Compare(Expr):
+    kind = SCALAR
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _compute_key(self):
+        return ("cmp", self.op, self.left.key(), self.right.key())
+
+    def apply(self, a, b):
+        return self._OPS[self.op](a, b)
+
+    def __bool__(self) -> bool:
+        raise PatternTypeError(
+            "pattern comparisons build declarative conditions; use "
+            "action.when(...) instead of Python if-statements"
+        )
+
+    def pretty(self) -> str:
+        return f"({self.left.pretty()} {self.op} {self.right.pretty()})"
+
+
+class BoolOp(Expr):
+    kind = SCALAR
+
+    def __init__(self, op: str, left: Expr, right: Optional[Expr]) -> None:
+        if op not in ("and", "or", "not"):
+            raise PatternTypeError(f"unsupported boolean op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left,) if self.right is None else (self.left, self.right)
+
+    def _compute_key(self):
+        rk = None if self.right is None else self.right.key()
+        return ("bool", self.op, self.left.key(), rk)
+
+    def __bool__(self) -> bool:
+        raise PatternTypeError(
+            "pattern booleans are declarative; use .and_()/.or_() and "
+            "action.when(...)"
+        )
+
+    def pretty(self) -> str:
+        if self.op == "not":
+            return f"(not {self.left.pretty()})"
+        return f"({self.left.pretty()} {self.op} {self.right.pretty()})"
+
+
+class Call(Expr):
+    """Whitelisted pure function call, e.g. ``fn('min', a, b)``."""
+
+    kind = SCALAR
+
+    def __init__(self, fn_name: str, args: tuple) -> None:
+        if fn_name not in PURE_FUNCTIONS:
+            raise PatternTypeError(
+                f"function {fn_name!r} is not in the pure-function whitelist "
+                f"{sorted(PURE_FUNCTIONS)}"
+            )
+        self.fn_name = fn_name
+        self.args = args
+
+    def children(self):
+        return self.args
+
+    def _compute_key(self):
+        return ("call", self.fn_name, tuple(a.key() for a in self.args))
+
+    def apply(self, *vals):
+        return PURE_FUNCTIONS[self.fn_name](*vals)
+
+    def pretty(self) -> str:
+        return f"{self.fn_name}({', '.join(a.pretty() for a in self.args)})"
+
+
+def fn(name: str, *args) -> Call:
+    return Call(name, tuple(wrap(a) for a in args))
+
+
+class Alias(Expr):
+    """A named shortcut for an expression (paper Sec. III-C: "using an
+    alias is the same as pasting in the expression it stands for").
+
+    Transparent for analysis and evaluation; only printing differs.
+    """
+
+    def __init__(self, name: str, expr: Expr) -> None:
+        self.name = name
+        self.expr = expr
+        self.kind = expr.kind
+
+    def children(self):
+        return (self.expr,)
+
+    def _compute_key(self):
+        return self.expr.key()  # paste-in semantics: identical to the target
+
+    def pretty(self) -> str:
+        return self.name
+
+
+def unalias(expr: Expr) -> Expr:
+    """Strip alias wrappers (paste-in semantics)."""
+    while isinstance(expr, Alias):
+        expr = expr.expr
+    return expr

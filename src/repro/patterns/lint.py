@@ -1,0 +1,155 @@
+"""Pattern linting: structural checks beyond hard validation.
+
+The planner rejects patterns that cannot be compiled; the linter reports
+*suspicious* patterns that compile but likely do not mean what the author
+intended, plus one rule the paper states outright:
+
+    "Conditions are essentially a chain of C++-like if-else statements
+    where the boolean expressions must involve accessing property maps."
+    (Sec. III-C)
+
+Rules
+-----
+``condition-no-reads`` (error)
+    An if/elif test contains no property-map access (violates the paper's
+    grammar; constant tests belong in the driver, not the pattern).
+``unused-property`` (warning)
+    A declared property map is never read or written by any action.
+``write-only-dependent-hook`` (warning)
+    An action writes a map it never reads, so its work hook can never
+    fire for that map — dead customization point.
+``unreachable-after-else`` (error)
+    An ``elif``/``else`` after an ``else`` in the same group (builder
+    prevents this; the linter double-checks hand-built structures).
+``self-assignment`` (warning)
+    ``p[x] = p[x]`` — a modification that can never change anything.
+``alias-shadow`` (warning)
+    Two aliases in one action share a name.
+
+Use :func:`lint_pattern` for a report or :func:`check_pattern` to raise
+on errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .action import Action, Assign
+from .errors import PatternValidationError
+from .pattern import Pattern
+
+
+@dataclass(frozen=True)
+class LintIssue:
+    rule: str
+    severity: str  # 'error' | 'warning'
+    location: str  # pattern.action or pattern
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.severity}] {self.location}: {self.rule}: {self.message}"
+
+
+def lint_action(action: Action) -> list[LintIssue]:
+    issues: list[LintIssue] = []
+    where = f"{action.pattern.name}.{action.name}"
+
+    seen_else = False
+    last_group = -1
+    for cond in action.conditions:
+        if cond.group != last_group:
+            seen_else = False
+            last_group = cond.group
+        if cond.kind == "else":
+            seen_else = True
+        elif seen_else:
+            issues.append(
+                LintIssue(
+                    "unreachable-after-else",
+                    "error",
+                    where,
+                    f"{cond.kind!r} condition follows 'else' in group "
+                    f"{cond.group} and can never run",
+                )
+            )
+        if cond.test is not None and not cond.test.reads():
+            issues.append(
+                LintIssue(
+                    "condition-no-reads",
+                    "error",
+                    where,
+                    f"test {cond.test.pretty()} accesses no property map "
+                    "(paper Sec. III-C requires conditions to involve "
+                    "property maps)",
+                )
+            )
+        for m in cond.modifications:
+            if isinstance(m, Assign) and m.value.key() == m.target.key():
+                issues.append(
+                    LintIssue(
+                        "self-assignment",
+                        "warning",
+                        where,
+                        f"{m.describe()} can never change the value",
+                    )
+                )
+
+    names = [a.name for a in action.aliases]
+    for name in sorted({n for n in names if names.count(n) > 1}):
+        issues.append(
+            LintIssue(
+                "alias-shadow",
+                "warning",
+                where,
+                f"alias {name!r} is defined more than once",
+            )
+        )
+
+    written_never_read = action.written_props() - action.read_props()
+    for prop in sorted(written_never_read):
+        issues.append(
+            LintIssue(
+                "write-only-dependent-hook",
+                "warning",
+                where,
+                f"property {prop!r} is written but never read: changes to "
+                "it will not mark vertices dependent (work hook never "
+                "fires for it)",
+            )
+        )
+    return issues
+
+
+def lint_pattern(pattern: Pattern) -> list[LintIssue]:
+    issues: list[LintIssue] = []
+    used: set[str] = set()
+    for action in pattern.actions.values():
+        issues.extend(lint_action(action))
+        used |= action.read_props() | action.written_props()
+        gen = action.generator
+        if gen is not None and not gen.is_builtin:
+            used.add(gen.source.decl.name)
+    for name in pattern.properties:
+        if name not in used:
+            issues.append(
+                LintIssue(
+                    "unused-property",
+                    "warning",
+                    pattern.name,
+                    f"property {name!r} is declared but never used",
+                )
+            )
+    return issues
+
+
+def check_pattern(pattern: Pattern) -> list[LintIssue]:
+    """Lint; raise :class:`PatternValidationError` if any errors found.
+
+    Returns the warnings (errors raise)."""
+    issues = lint_pattern(pattern)
+    errors = [i for i in issues if i.severity == "error"]
+    if errors:
+        raise PatternValidationError(
+            "pattern lint errors:\n" + "\n".join(str(e) for e in errors)
+        )
+    return [i for i in issues if i.severity == "warning"]

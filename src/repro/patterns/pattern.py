@@ -1,0 +1,151 @@
+"""Patterns: collections of property declarations and actions.
+
+Mirrors the paper's grammar (Sec. III)::
+
+    <pattern>  ::= 'pattern' '{' <properties> <actions> '}'
+    <property> ::= <property-kind> '(' <type> ')' ';'
+
+In the Python DSL::
+
+    p = Pattern("SSSP")
+    dist = p.vertex_prop("dist", float, default=math.inf)
+    weight = p.edge_prop("weight", float)
+
+    relax = p.action("relax")
+    v = relax.input
+    e = relax.out_edges()
+    new_dist = relax.let("new_dist", dist[v] + weight[e])
+    with relax.when(new_dist < dist[trg(e)]):
+        relax.set(dist[trg(e)], new_dist)
+
+Declarations are *schemas*: binding a pattern to a concrete graph
+(:func:`repro.patterns.executor.bind`) materializes distributed property
+maps (or adopts caller-provided ones) and compiles the actions to message
+plans.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from .expr import EDGE, SCALAR, SET, VERTEX, Expr, PatternTypeError, PropRead
+
+_VALUE_KINDS = {
+    float: (SCALAR, "f8"),
+    int: (SCALAR, "i8"),
+    bool: (SCALAR, "?"),
+    "f8": (SCALAR, "f8"),
+    "i8": (SCALAR, "i8"),
+    "vertex": (VERTEX, "i8"),
+    "edge": (EDGE, "i8"),
+    "set": (SET, object),
+    object: (SCALAR, object),
+}
+
+
+class PropertyDecl:
+    """A property-map declaration inside a pattern.
+
+    ``target_kind`` is what it is indexed by (vertex/edge); ``value_kind``
+    is what it stores — scalars, vertices ("including vertices and edges",
+    Sec. III-B), edges, or sets.
+    """
+
+    def __init__(
+        self,
+        pattern: "Pattern",
+        name: str,
+        target_kind: str,
+        value_type,
+        default: Any,
+    ) -> None:
+        try:
+            value_kind, dtype = _VALUE_KINDS[value_type]
+        except (KeyError, TypeError):
+            raise PatternTypeError(
+                f"unsupported property value type {value_type!r}; use float, int, "
+                "bool, 'vertex', 'edge', 'set', or object"
+            ) from None
+        self.pattern = pattern
+        self.name = name
+        self.target_kind = target_kind
+        self.value_kind = value_kind
+        self.dtype = dtype
+        self.default = default
+
+    def __getitem__(self, index: Expr) -> PropRead:
+        if not isinstance(index, Expr):
+            raise PatternTypeError(
+                f"{self.name}[...] must be indexed with a pattern expression "
+                f"(the input vertex, a generated edge, trg(e), or a vertex-"
+                f"valued property read), got {index!r}"
+            )
+        return PropRead(self, index)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PropertyDecl({self.name!r}, {self.target_kind}-indexed, "
+            f"stores {self.value_kind})"
+        )
+
+
+class Pattern:
+    """A named collection of property declarations and actions."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.properties: dict[str, PropertyDecl] = {}
+        self.actions: dict[str, "Action"] = {}
+
+    # -- property declarations ----------------------------------------------
+    def vertex_prop(
+        self, name: str, value_type=float, default: Any = 0
+    ) -> PropertyDecl:
+        return self._add_prop(name, VERTEX, value_type, default)
+
+    def edge_prop(self, name: str, value_type=float, default: Any = 0) -> PropertyDecl:
+        return self._add_prop(name, EDGE, value_type, default)
+
+    def _add_prop(self, name, target_kind, value_type, default) -> PropertyDecl:
+        if name in self.properties:
+            raise ValueError(f"property {name!r} already declared in {self.name}")
+        decl = PropertyDecl(self, name, target_kind, value_type, default)
+        self.properties[name] = decl
+        return decl
+
+    # -- actions -----------------------------------------------------------------
+    def action(self, name: str, input_name: str = "v") -> "Action":
+        from .action import Action  # local import to avoid a cycle
+
+        if name in self.actions:
+            raise ValueError(f"action {name!r} already declared in {self.name}")
+        act = Action(self, name, input_name)
+        self.actions[name] = act
+        return act
+
+    # -- introspection ---------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable rendering, close to the paper's pattern listings."""
+        lines = [f"pattern {self.name} {{"]
+        for d in self.properties.values():
+            store = {SCALAR: str(d.dtype), VERTEX: "Vertex", EDGE: "Edge", SET: "set"}[
+                d.value_kind
+            ]
+            lines.append(f"  {d.target_kind}-property({store}) {d.name};")
+        for a in self.actions.values():
+            lines.append(a.describe(indent="  "))
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Pattern({self.name!r}, actions={list(self.actions)})"
+
+
+def default_for(decl: PropertyDecl):
+    """The storage default for a declaration (inf-friendly for floats)."""
+    if decl.default is not None:
+        return decl.default
+    if decl.dtype == "f8":
+        return math.inf
+    return 0

@@ -1,0 +1,18 @@
+"""Property maps and the lock-map synchronization abstraction
+(paper Secs. III-B and IV-B)."""
+
+from .lockmap import LockMap
+from .property_map import (
+    EdgePropertyMap,
+    LocalityError,
+    VertexPropertyMap,
+    weight_map_from_array,
+)
+
+__all__ = [
+    "EdgePropertyMap",
+    "LocalityError",
+    "LockMap",
+    "VertexPropertyMap",
+    "weight_map_from_array",
+]

@@ -1,0 +1,251 @@
+"""Property maps: the paper's fundamental data abstraction (Sec. III-B).
+
+A property map associates vertices or edges with arbitrary values,
+"including vertices and edges".  Storage is distributed: each rank holds
+the values of the vertices/edges it owns, and — per the paper's owner-
+computes rule — reads and writes must happen at the owning rank inside
+message handlers.
+
+Strictness: with ``strict=True`` every access must present the accessing
+rank and it must equal the owner; the pattern executor does this, which
+turns locality bugs in compiled plans into loud errors instead of silent
+shared-memory reads (this simulation *could* read any value from
+anywhere — a real machine could not, so we police it).
+
+Scalar maps are numpy-backed per rank (fast bulk init/extract); ``object``
+maps hold Python lists for set-valued properties like predecessor sets.
+
+Edge-map mirror reads: under bidirectional storage the paper replicates
+incoming edges (and hence their property values) at the target's rank, so
+reading an in-edge's property at the *target* owner is legal; writes are
+owner-only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from ..graph.distributed import DistributedGraph
+
+
+class LocalityError(RuntimeError):
+    """An access violated the owner-computes locality rule."""
+
+
+def _make_storage(n: int, dtype, default):
+    if dtype is object or dtype == "object":
+        # A callable default is a per-slot factory (mutable defaults such
+        # as set() must not be shared between slots).
+        if callable(default):
+            return [default() for _ in range(n)]
+        return [default] * n
+    arr = np.empty(n, dtype=dtype)
+    arr[:] = default
+    return arr
+
+
+class VertexPropertyMap:
+    """Distributed per-vertex values."""
+
+    def __init__(
+        self,
+        graph: DistributedGraph,
+        dtype="f8",
+        default: Any = 0,
+        *,
+        name: str = "vprop",
+        strict: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.dtype = dtype
+        self.default = default
+        self.name = name
+        self.strict = strict
+        self._slices = [
+            _make_storage(graph.partition.rank_size(r), dtype, default)
+            for r in range(graph.n_ranks)
+        ]
+
+    # -- locality checks -----------------------------------------------------
+    def _locate(self, v: int, rank: Optional[int], writing: bool) -> tuple[int, int]:
+        owner = self.graph.owner(v)
+        if rank is not None and rank != owner:
+            raise LocalityError(
+                f"{self.name}[{v}] accessed at rank {rank} but owned by {owner}"
+            )
+        if rank is None and self.strict:
+            raise LocalityError(
+                f"{self.name}[{v}]: strict map requires the accessing rank"
+            )
+        return owner, self.graph.local_index(v)
+
+    # -- element access ----------------------------------------------------------
+    def get(self, v: int, rank: Optional[int] = None):
+        owner, local = self._locate(v, rank, writing=False)
+        return self._slices[owner][local]
+
+    def set(self, v: int, value, rank: Optional[int] = None) -> None:
+        owner, local = self._locate(v, rank, writing=True)
+        self._slices[owner][local] = value
+
+    def __getitem__(self, v: int):
+        return self.get(v)
+
+    def __setitem__(self, v: int, value) -> None:
+        self.set(v, value)
+
+    # -- bulk access (driver-side: initialization and extraction) ------------------
+    def fill(self, value) -> None:
+        for s in self._slices:
+            if isinstance(s, np.ndarray):
+                s[:] = value
+            else:
+                for i in range(len(s)):
+                    s[i] = value
+
+    def to_array(self):
+        """Gather all values into one global array/list ordered by vertex id."""
+        if self.dtype is object or self.dtype == "object":
+            out: list = [None] * self.graph.n_vertices
+        else:
+            out = np.empty(self.graph.n_vertices, dtype=self.dtype)
+        for r in range(self.graph.n_ranks):
+            globals_ = self.graph.partition.local_vertices(r)
+            s = self._slices[r]
+            if isinstance(out, np.ndarray):
+                out[globals_] = s
+            else:
+                for g, val in zip(globals_, s):
+                    out[int(g)] = val
+        return out
+
+    def from_array(self, values) -> None:
+        for r in range(self.graph.n_ranks):
+            globals_ = self.graph.partition.local_vertices(r)
+            s = self._slices[r]
+            if isinstance(s, np.ndarray):
+                s[:] = np.asarray(values)[globals_]
+            else:
+                for i, g in enumerate(globals_):
+                    s[i] = values[int(g)]
+
+    def local_slice(self, rank: int):
+        """This rank's raw storage (handler-side bulk operations)."""
+        return self._slices[rank]
+
+    def __len__(self) -> int:
+        return self.graph.n_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VertexPropertyMap({self.name!r}, dtype={self.dtype})"
+
+
+class EdgePropertyMap:
+    """Distributed per-edge values, indexed by global edge id."""
+
+    def __init__(
+        self,
+        graph: DistributedGraph,
+        dtype="f8",
+        default: Any = 0,
+        *,
+        name: str = "eprop",
+        strict: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.dtype = dtype
+        self.default = default
+        self.name = name
+        self.strict = strict
+        self._slices = [
+            _make_storage(graph.locals[r].n_edges, dtype, default)
+            for r in range(graph.n_ranks)
+        ]
+
+    def _locate(self, gid: int, rank: Optional[int], writing: bool) -> tuple[int, int]:
+        owner, local = self.graph.edge_local_index(gid)
+        if rank is not None and rank != owner:
+            # Mirror read: bidirectional storage replicates in-edges (and
+            # their property values) at the target rank.
+            if (
+                not writing
+                and self.graph.bidirectional
+                and rank == self.graph.owner(self.graph.trg(gid))
+            ):
+                return owner, local
+            raise LocalityError(
+                f"{self.name}[e{gid}] {'written' if writing else 'read'} at rank "
+                f"{rank} but stored at {owner}"
+            )
+        if rank is None and self.strict:
+            raise LocalityError(
+                f"{self.name}[e{gid}]: strict map requires the accessing rank"
+            )
+        return owner, local
+
+    def get(self, gid: int, rank: Optional[int] = None):
+        owner, local = self._locate(gid, rank, writing=False)
+        return self._slices[owner][local]
+
+    def set(self, gid: int, value, rank: Optional[int] = None) -> None:
+        owner, local = self._locate(gid, rank, writing=True)
+        self._slices[owner][local] = value
+
+    def __getitem__(self, gid: int):
+        return self.get(gid)
+
+    def __setitem__(self, gid: int, value) -> None:
+        self.set(gid, value)
+
+    def fill(self, value) -> None:
+        for s in self._slices:
+            if isinstance(s, np.ndarray):
+                s[:] = value
+            else:
+                for i in range(len(s)):
+                    s[i] = value
+
+    def to_array(self):
+        if self.dtype is object or self.dtype == "object":
+            out: list = [None] * self.graph.n_edges
+            for r in range(self.graph.n_ranks):
+                base = int(self.graph.edge_offsets[r])
+                for i, val in enumerate(self._slices[r]):
+                    out[base + i] = val
+            return out
+        out = np.empty(self.graph.n_edges, dtype=self.dtype)
+        for r in range(self.graph.n_ranks):
+            base = int(self.graph.edge_offsets[r])
+            out[base : base + len(self._slices[r])] = self._slices[r]
+        return out
+
+    def from_array(self, values) -> None:
+        vals = values
+        for r in range(self.graph.n_ranks):
+            base = int(self.graph.edge_offsets[r])
+            s = self._slices[r]
+            if isinstance(s, np.ndarray):
+                s[:] = np.asarray(vals)[base : base + len(s)]
+            else:
+                for i in range(len(s)):
+                    s[i] = vals[base + i]
+
+    def local_slice(self, rank: int):
+        return self._slices[rank]
+
+    def __len__(self) -> int:
+        return self.graph.n_edges
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"EdgePropertyMap({self.name!r}, dtype={self.dtype})"
+
+
+def weight_map_from_array(
+    graph: DistributedGraph, weight_by_gid, *, name: str = "weight", strict: bool = False
+) -> EdgePropertyMap:
+    """Wrap a gid-aligned weight array (from the builder) as an edge map."""
+    pm = EdgePropertyMap(graph, dtype="f8", default=0.0, name=name, strict=strict)
+    pm.from_array(np.asarray(weight_by_gid, dtype=np.float64))
+    return pm

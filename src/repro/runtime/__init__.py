@@ -1,0 +1,55 @@
+"""Active-message runtime: the AM++ / Active Pebbles equivalent substrate.
+
+See DESIGN.md Sec. 2-3: this package provides typed active messages with
+handler re-entry, object-based addressing, coalescing/caching/reduction
+layers, epochs with real termination-detection protocols, and two
+transports (deterministic simulation and real threads).
+"""
+
+from .addressing import AddressResolver, vertex_at
+from .caching import CachingLayer
+from .coalescing import CoalescingLayer
+from .epoch import Epoch
+from .machine import Machine, SpmdContext, SpmdEpoch
+from .message import Envelope, MessageType
+from .reductions import ReductionLayer, max_payload, min_payload, sum_payload
+from .sim import ROUTINGS, SCHEDULES, SimTransport
+from .stats import EpochStats, StatsRegistry, TypeStats
+from .termination import (
+    DETECTORS,
+    FourCounterDetector,
+    OracleDetector,
+    SafraDetector,
+)
+from .threads import ThreadTransport
+from .transport import HandlerContext, Transport
+
+__all__ = [
+    "AddressResolver",
+    "CachingLayer",
+    "CoalescingLayer",
+    "DETECTORS",
+    "Envelope",
+    "Epoch",
+    "EpochStats",
+    "FourCounterDetector",
+    "HandlerContext",
+    "Machine",
+    "MessageType",
+    "OracleDetector",
+    "ReductionLayer",
+    "ROUTINGS",
+    "SafraDetector",
+    "SCHEDULES",
+    "SimTransport",
+    "SpmdContext",
+    "SpmdEpoch",
+    "StatsRegistry",
+    "ThreadTransport",
+    "Transport",
+    "TypeStats",
+    "max_payload",
+    "min_payload",
+    "sum_payload",
+    "vertex_at",
+]

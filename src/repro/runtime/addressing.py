@@ -1,0 +1,86 @@
+"""Object-based addressing (paper Sec. IV-D).
+
+AM++ requires a node address for every message, but the address does not
+have to be given explicitly: an *address map* extracts a vertex from the
+payload and the graph's distribution maps the vertex to its owning rank.
+Address maps here are stateless callables, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .message import MessageType
+
+OwnerMap = Callable[[int], int]  # vertex -> rank
+
+
+class AddressResolver:
+    """Computes destination ranks for envelopes.
+
+    The resolver combines a machine-wide *owner map* (vertex -> rank,
+    provided by the distributed graph) with each message type's
+    ``address_of`` / ``dest_rank_of`` rule.
+    """
+
+    def __init__(self, n_ranks: int) -> None:
+        self.n_ranks = n_ranks
+        self._owner: Optional[OwnerMap] = None
+
+    def set_owner_map(self, owner: OwnerMap) -> None:
+        self._owner = owner
+
+    @property
+    def owner_map(self) -> Optional[OwnerMap]:
+        return self._owner
+
+    def owner(self, vertex: int) -> int:
+        if self._owner is None:
+            raise RuntimeError(
+                "no owner map installed; call Machine.set_owner_map or attach "
+                "a DistributedGraph before sending vertex-addressed messages"
+            )
+        rank = self._owner(vertex)
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(
+                f"owner map returned rank {rank} for vertex {vertex}, "
+                f"outside [0, {self.n_ranks})"
+            )
+        return rank
+
+    def resolve(self, mtype: MessageType, payload: tuple, dest: Optional[int]) -> int:
+        """Destination rank for ``payload`` on ``mtype``.
+
+        Explicit ``dest`` wins; otherwise the type's addressing rule is
+        consulted.
+        """
+        if dest is not None:
+            if not 0 <= dest < self.n_ranks:
+                raise ValueError(f"explicit destination rank {dest} out of range")
+            return dest
+        if mtype.dest_rank_of is not None:
+            rank = mtype.dest_rank_of(payload)
+            if not 0 <= rank < self.n_ranks:
+                raise ValueError(
+                    f"dest_rank_of for {mtype.name!r} returned out-of-range rank {rank}"
+                )
+            return rank
+        if mtype.address_of is not None:
+            return self.owner(mtype.address_of(payload))
+        raise ValueError(
+            f"message type {mtype.name!r} has no addressing rule and no "
+            "explicit destination was given"
+        )
+
+
+def vertex_at(index: int) -> Callable[[tuple], int]:
+    """Address map reading the destination vertex from payload slot ``index``.
+
+    This mirrors the paper's generated address maps, which "simply extract
+    the destination vertex from a message".
+    """
+
+    def extract(payload: tuple) -> int:
+        return payload[index]
+
+    return extract

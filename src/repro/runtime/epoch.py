@@ -1,0 +1,95 @@
+"""Epochs: the paper's coarse-grained synchronization construct.
+
+An epoch is a scoping construct (Sec. III-D).  Code inside the scope
+invokes actions (directly or through strategies); leaving the scope blocks
+until *all* invoked actions and all work transitively produced by their
+dependencies have finished everywhere — established by a termination
+detector.  Two in-epoch primitives are provided, exactly as in the paper:
+
+* :meth:`Epoch.flush` (``epoch_flush``) — perform as much pending work as
+  possible, then return control to the caller, keeping the epoch open.
+* :meth:`Epoch.try_finish` — attempt to prove global quiescence; returns
+  ``True`` (and the epoch may be exited) only if no work is pending
+  anywhere.  Used by work-stealing-style strategies such as distributed
+  Delta-stepping with thread-local buckets.
+
+Usage::
+
+    with machine.epoch() as ep:
+        for v in vertices:
+            action.invoke(ep, v)
+        ep.flush()          # optional: interleave draining with seeding
+    # <- here every action and every dependent work item has completed
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+    from .stats import EpochStats
+
+
+class Epoch:
+    """One epoch on a machine.  Create via :meth:`Machine.epoch`."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.finished = False
+        self.result_stats: "EpochStats | None" = None
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self) -> "Epoch":
+        if self.machine._active_epoch is not None:
+            raise RuntimeError("epochs do not nest")
+        self.machine._active_epoch = self
+        self.machine.stats.begin_epoch()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.machine._active_epoch = None
+        if exc_type is not None:
+            return  # propagate; don't try to finish a failed epoch
+        self.machine.transport.finish_epoch(self.machine.detector)
+        self._account_control()
+        self.result_stats = self.machine.stats.end_epoch()
+        self.finished = True
+
+    # -- primitives -----------------------------------------------------------
+    def flush(self, budget: Optional[int] = None) -> int:
+        """``epoch_flush``: drain pending work, return handlers run.
+
+        With ``budget`` the drain is best-effort (at most that many handler
+        invocations); without it, all currently reachable work is done —
+        "a good enough effort" in the paper's words.
+        """
+        t = self.machine.transport
+        if budget is not None and hasattr(t, "drain_some"):
+            return t.drain_some(budget)
+        return t.drain()
+
+    def try_finish(self) -> bool:
+        """Attempt epoch termination; ``True`` iff globally quiescent.
+
+        Unlike :meth:`flush`, this performs *no* work: it only runs the
+        termination-detection protocol.  A strategy that receives ``False``
+        should go back to its local work sources (the paper's distributed
+        Delta-stepping does exactly this with its thread-local buckets).
+        """
+        # Control-message cost is folded into epoch stats at epoch exit
+        # (see _account_control), so a probe here is not double-counted.
+        return self.machine.detector.probe()
+
+    def _account_control(self) -> None:
+        det = self.machine.detector
+        produced = getattr(det, "control_messages", 0)
+        already = getattr(det, "_accounted", 0)
+        if produced > already:
+            self.machine.stats.count_control(produced - already)
+        det._accounted = produced
+
+    # -- convenience ---------------------------------------------------------
+    def invoke(self, mtype, payload, dest: Optional[int] = None) -> None:
+        """Inject a message from the driver (counts as a local post)."""
+        self.machine.inject(mtype, payload, dest)

@@ -1,0 +1,47 @@
+"""Message-layer plumbing shared by coalescing, caching, and reductions.
+
+AM++ composes per-message-type layers: a send traverses the installed
+layers outermost-first before reaching the wire.  A layer may pass a
+payload through, swallow it (cache hit), buffer it (coalescing), or
+combine it with a buffered one (reduction).  Layers keep per-source-rank
+state so the simulated and threaded transports can share them (in the
+threaded transport each rank only ever touches its own slot).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+    from .message import MessageType
+
+Emit = Callable[..., None]  # emit(payload, dest=...) -> None
+
+
+class Layer:
+    """Base class for message layers installed on a :class:`MessageType`."""
+
+    def __init__(self) -> None:
+        self.machine: "Machine | None" = None
+        self.mtype: "MessageType | None" = None
+
+    def attach(self, machine: "Machine", mtype: "MessageType") -> None:
+        self.machine = machine
+        self.mtype = mtype
+
+    # -- interface ----------------------------------------------------------
+    def send(self, src: int, dest: int, payload: tuple, emit: Emit) -> None:
+        """Handle one outgoing payload; call ``emit`` to pass downstream."""
+        raise NotImplementedError
+
+    def flush(self, src: int, emit: Emit) -> int:
+        """Force buffered items downstream; returns the number flushed."""
+        return 0
+
+    def pending(self) -> int:
+        """Number of items currently buffered (counts toward quiescence)."""
+        return 0
+
+    def reset(self) -> None:
+        """Drop all layer state (used between independent runs)."""

@@ -1,0 +1,266 @@
+"""The Machine: ranks x threads facade over the runtime substrate.
+
+A :class:`Machine` bundles a message registry, an address resolver, a
+statistics registry, a transport, and a termination detector, and exposes
+the surface the rest of the library programs against:
+
+* :meth:`register` — declare a typed active message (with optional
+  caching / reduction / coalescing layers, as in AM++);
+* :meth:`set_owner_map` / :meth:`attach_graph` — install vertex-to-rank
+  addressing;
+* :meth:`epoch` — open an epoch scope (Sec. III-D);
+* :meth:`inject` — driver-side action invocation (models the SPMD driver
+  running at the destination rank, hence a *local* post);
+* :meth:`run_spmd` — run a per-rank program on real threads, for
+  algorithms that need genuine thread-local control flow such as the
+  paper's distributed Delta-stepping with ``try_finish``.
+
+Example
+-------
+>>> m = Machine(n_ranks=2)
+>>> seen = []
+>>> echo = m.register("echo", lambda ctx, p: seen.append((ctx.rank, p[0])),
+...                   dest_rank_of=lambda p: p[0] % 2)
+>>> with m.epoch() as ep:
+...     ep.invoke(echo, (3,))
+>>> seen
+[(1, 3)]
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Union
+
+from .addressing import AddressResolver
+from .caching import CachingLayer
+from .coalescing import CoalescingLayer
+from .epoch import Epoch
+from .message import MessageRegistry, MessageType
+from .reductions import ReductionLayer
+from .sim import SimTransport
+from .stats import StatsRegistry
+from .termination import make_detector
+from .threads import ThreadTransport
+from .transport import HandlerContext
+
+
+class Machine:
+    """A simulated (or threaded) distributed machine of ``n_ranks`` ranks."""
+
+    def __init__(
+        self,
+        n_ranks: int = 4,
+        transport: str = "sim",
+        *,
+        schedule: str = "round_robin",
+        seed: int = 0,
+        threads_per_rank: int = 1,
+        detector: str = "oracle",
+        routing: str = "direct",
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+        self.registry = MessageRegistry()
+        self.resolver = AddressResolver(n_ranks)
+        self.stats = StatsRegistry()
+        self._active_epoch: Optional[Epoch] = None
+        self.graph = None  # set by attach_graph
+        if transport == "sim":
+            self.transport = SimTransport(
+                self, schedule=schedule, seed=seed, routing=routing
+            )
+        elif transport == "threads":
+            if routing != "direct":
+                raise ValueError("hypercube routing is only supported on the sim transport")
+            self.transport = ThreadTransport(self, threads_per_rank=threads_per_rank)
+            self.stats.guard = threading.Lock()
+        else:
+            raise ValueError(f"unknown transport {transport!r}; use 'sim' or 'threads'")
+        self.detector = make_detector(detector, self)
+
+    # -- registration ----------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        handler: Callable[[HandlerContext, tuple], None],
+        *,
+        address_of: Optional[Callable[[tuple], int]] = None,
+        dest_rank_of: Optional[Callable[[tuple], int]] = None,
+        cache: Optional[CachingLayer] = None,
+        reduction: Optional[ReductionLayer] = None,
+        coalescing: Optional[Union[CoalescingLayer, int]] = None,
+    ) -> MessageType:
+        """Register a message type, installing layers outermost-first.
+
+        Layer order is fixed to AM++'s sensible stack: the cache drops
+        duplicates first, the reduction combines survivors, and coalescing
+        batches whatever remains onto the wire.
+        """
+        mtype = MessageType(
+            name, handler, address_of=address_of, dest_rank_of=dest_rank_of
+        )
+        self.registry.add(mtype)
+        self.stats.register_type(name)
+        if isinstance(coalescing, int):
+            coalescing = CoalescingLayer(buffer_size=coalescing)
+        for layer in (cache, reduction, coalescing):
+            if layer is not None:
+                layer.attach(self, mtype)
+                mtype.layers.append(layer)
+        return mtype
+
+    # -- addressing ----------------------------------------------------------
+    def set_owner_map(self, owner: Callable[[int], int]) -> None:
+        self.resolver.set_owner_map(owner)
+
+    def attach_graph(self, graph) -> None:
+        """Use a :class:`~repro.graph.distributed.DistributedGraph` for addressing."""
+        if graph.n_ranks != self.n_ranks:
+            raise ValueError(
+                f"graph is partitioned over {graph.n_ranks} ranks but the "
+                f"machine has {self.n_ranks}"
+            )
+        self.graph = graph
+        self.set_owner_map(graph.owner)
+
+    # -- epochs & driving ----------------------------------------------------
+    def epoch(self) -> Epoch:
+        return Epoch(self)
+
+    @property
+    def active_epoch(self) -> Optional[Epoch]:
+        return self._active_epoch
+
+    def inject(
+        self,
+        mtype: Union[MessageType, str],
+        payload: tuple,
+        dest: Optional[int] = None,
+    ) -> None:
+        """Driver-side send.
+
+        Models the SPMD driver invoking an action for a vertex it owns, so
+        it is counted as a local post (``src = -1``), never a network hop.
+        """
+        self.transport.send(-1, mtype, payload, dest)
+
+    def drain(self) -> int:
+        """Run all pending work outside an epoch (testing convenience)."""
+        return self.transport.drain()
+
+    # -- SPMD mode --------------------------------------------------------------
+    def run_spmd(self, program: Callable[["SpmdContext"], object]) -> list:
+        """Run ``program(ctx)`` once per rank on real threads.
+
+        Requires the ``threads`` transport.  Returns each rank's return
+        value, ordered by rank.  Exceptions in any rank are re-raised in
+        the caller (first one wins).
+        """
+        if not isinstance(self.transport, ThreadTransport):
+            raise RuntimeError("run_spmd requires transport='threads'")
+        self.transport.start()
+        barrier = threading.Barrier(self.n_ranks)
+        results: list = [None] * self.n_ranks
+        errors: list = []
+
+        def run(rank: int) -> None:
+            ctx = SpmdContext(self, rank, barrier)
+            try:
+                results[rank] = program(ctx)
+            except Exception as exc:  # noqa: BLE001 - surfaced to caller
+                errors.append(exc)
+                try:
+                    barrier.abort()
+                except Exception:  # pragma: no cover
+                    pass
+
+        threads = [
+            threading.Thread(target=run, args=(r,), name=f"spmd-{r}")
+            for r in range(self.n_ranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise errors[0]
+        return results
+
+    # -- lifecycle ---------------------------------------------------------------
+    def shutdown(self) -> None:
+        self.transport.shutdown()
+
+    def __enter__(self) -> "Machine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+
+class SpmdContext:
+    """Per-rank context handed to SPMD programs.
+
+    Provides the paper's epoch surface from *inside* a rank: ``epoch()``
+    is collective (all ranks must enter and exit), ``epoch_flush`` waits
+    for the system to go momentarily idle, and ``try_finish`` reports
+    whether the machine is quiescent right now.
+    """
+
+    def __init__(self, machine: Machine, rank: int, barrier: threading.Barrier) -> None:
+        self.machine = machine
+        self.rank = rank
+        self._barrier = barrier
+
+    # -- messaging --------------------------------------------------------------
+    def send(self, mtype, payload: tuple, dest: Optional[int] = None) -> None:
+        self.machine.transport.send(self.rank, mtype, payload, dest)
+
+    def owner(self, vertex: int) -> int:
+        return self.machine.resolver.owner(vertex)
+
+    def is_local(self, vertex: int) -> bool:
+        return self.owner(vertex) == self.rank
+
+    # -- collective epoch -----------------------------------------------------------
+    def epoch(self) -> "SpmdEpoch":
+        return SpmdEpoch(self)
+
+    def barrier(self) -> None:
+        self._barrier.wait()
+
+    def epoch_flush(self, budget: int = 1_000_000) -> int:
+        return self.machine.transport.drain_some(budget)
+
+    def try_finish(self) -> bool:
+        return self.machine.transport.quiescent()
+
+
+class SpmdEpoch:
+    """Collective epoch for SPMD programs (barrier in, drain + barrier out)."""
+
+    def __init__(self, ctx: SpmdContext) -> None:
+        self.ctx = ctx
+
+    def __enter__(self) -> "SpmdEpoch":
+        self.ctx.barrier()
+        if self.ctx.rank == 0:
+            self.ctx.machine.stats.begin_epoch()
+        self.ctx.barrier()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            return
+        self.ctx.barrier()  # everyone stopped producing driver-level work
+        if self.ctx.rank == 0:
+            self.ctx.machine.transport.finish_epoch(self.ctx.machine.detector)
+            self.ctx.machine.stats.end_epoch()
+        self.ctx.barrier()  # quiescence proven; all ranks may proceed
+
+    def flush(self, budget: int = 1_000_000) -> int:
+        return self.ctx.epoch_flush(budget)
+
+    def try_finish(self) -> bool:
+        return self.ctx.try_finish()

@@ -1,0 +1,105 @@
+"""Typed active messages.
+
+AM++ registers statically-typed message types with arbitrary handler
+functions; handlers may freely send further messages (the distinguishing
+feature called out in Sec. I of the paper).  This module provides the
+Python equivalent: a :class:`MessageType` couples a name, a handler
+``handler(ctx, payload)``, and an addressing rule that computes the
+destination rank from the payload (object-based addressing, Sec. IV-D).
+
+Payloads are plain tuples.  A payload's *slots* (its length) approximate
+its wire size for statistics purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+Handler = Callable[["HandlerContext", tuple], None]  # noqa: F821  (defined in transport)
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One in-flight message: destination rank, type, payload tuple."""
+
+    dest: int
+    type_id: int
+    payload: tuple
+    src: int = -1  # -1 means injected by the driver, not a handler
+
+    def slots(self) -> int:
+        return len(self.payload)
+
+
+class MessageType:
+    """A registered message type.
+
+    Parameters
+    ----------
+    name:
+        Unique name; also the statistics key.
+    handler:
+        ``handler(ctx, payload)`` invoked at the destination rank.  ``ctx``
+        is a :class:`~repro.runtime.transport.HandlerContext`.
+    address_of:
+        Optional ``payload -> vertex`` used with the machine's owner map to
+        compute the destination rank (object-based addressing).  Exactly one
+        of ``address_of`` / ``dest_rank_of`` must be provided unless every
+        ``send`` names an explicit destination.
+    dest_rank_of:
+        Optional ``payload -> rank`` computing the destination directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        handler: Handler,
+        *,
+        address_of: Optional[Callable[[tuple], int]] = None,
+        dest_rank_of: Optional[Callable[[tuple], int]] = None,
+    ) -> None:
+        if address_of is not None and dest_rank_of is not None:
+            raise ValueError("give at most one of address_of / dest_rank_of")
+        self.name = name
+        self.handler = handler
+        self.address_of = address_of
+        self.dest_rank_of = dest_rank_of
+        self.type_id: int = -1  # assigned at registration
+        # Layers (coalescing / caching / reduction) installed on this type,
+        # outermost first.  ``send`` traverses these before hitting the wire.
+        self.layers: list[Any] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MessageType({self.name!r}, id={self.type_id})"
+
+
+class MessageRegistry:
+    """Bidirectional name/id registry of message types for one machine."""
+
+    def __init__(self) -> None:
+        self._types: list[MessageType] = []
+        self._by_name: dict[str, MessageType] = {}
+
+    def add(self, mtype: MessageType) -> MessageType:
+        if mtype.name in self._by_name:
+            raise ValueError(f"message type {mtype.name!r} already registered")
+        mtype.type_id = len(self._types)
+        self._types.append(mtype)
+        self._by_name[mtype.name] = mtype
+        return mtype
+
+    def by_id(self, type_id: int) -> MessageType:
+        return self._types[type_id]
+
+    def by_name(self, name: str) -> MessageType:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self._types)
+
+    def __len__(self) -> int:
+        return len(self._types)

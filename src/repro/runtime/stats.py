@@ -1,0 +1,216 @@
+"""Statistics collection for the active-message runtime.
+
+The paper reasons about cost in terms of *messages* (Sec. IV-A, Figs. 5-6)
+rather than wall-clock time, so the runtime keeps detailed, cheap counters:
+messages sent (split into local deliveries and remote "network" hops),
+handler invocations, coalescing flushes, cache hits, reduction combines,
+and termination-detection control messages.  Benchmarks report these
+machine-independent quantities.
+
+Counters are grouped per message type and aggregated per epoch so that a
+strategy can be profiled epoch by epoch (e.g. one :class:`EpochStats` per
+Delta-stepping bucket).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TypeStats:
+    """Counters for a single registered message type."""
+
+    sent_local: int = 0
+    sent_remote: int = 0
+    handler_calls: int = 0
+    payload_slots: int = 0  # total payload tuple slots sent (~8 bytes each)
+    coalesced_flushes: int = 0
+    coalesced_items: int = 0
+    cache_hits: int = 0
+    reduction_combines: int = 0
+
+    @property
+    def sent_total(self) -> int:
+        return self.sent_local + self.sent_remote
+
+    @property
+    def approx_bytes(self) -> int:
+        """Rough traffic estimate: 8 bytes per payload slot."""
+        return 8 * self.payload_slots
+
+    def merge(self, other: "TypeStats") -> None:
+        self.sent_local += other.sent_local
+        self.sent_remote += other.sent_remote
+        self.handler_calls += other.handler_calls
+        self.payload_slots += other.payload_slots
+        self.coalesced_flushes += other.coalesced_flushes
+        self.coalesced_items += other.coalesced_items
+        self.cache_hits += other.cache_hits
+        self.reduction_combines += other.reduction_combines
+
+    def snapshot(self) -> "TypeStats":
+        return TypeStats(
+            sent_local=self.sent_local,
+            sent_remote=self.sent_remote,
+            handler_calls=self.handler_calls,
+            payload_slots=self.payload_slots,
+            coalesced_flushes=self.coalesced_flushes,
+            coalesced_items=self.coalesced_items,
+            cache_hits=self.cache_hits,
+            reduction_combines=self.reduction_combines,
+        )
+
+
+@dataclass
+class EpochStats:
+    """Aggregate counters for one epoch (or one whole run)."""
+
+    epoch_index: int = 0
+    sent_local: int = 0
+    sent_remote: int = 0
+    handler_calls: int = 0
+    payload_slots: int = 0
+    coalesced_flushes: int = 0
+    cache_hits: int = 0
+    reduction_combines: int = 0
+    control_messages: int = 0  # termination-detection traffic
+    work_items: int = 0  # dependency work-hook firings
+    forwarded: int = 0  # hypercube-routing intermediate hops
+
+    @property
+    def sent_total(self) -> int:
+        return self.sent_local + self.sent_remote
+
+
+class StatsRegistry:
+    """Central statistics registry owned by a :class:`~repro.runtime.machine.Machine`.
+
+    Tracks per-message-type counters plus running epoch aggregates.  All
+    mutation goes through the ``count_*`` methods so that transports and
+    layers never touch counter fields directly.
+    """
+
+    def __init__(self) -> None:
+        self.by_type: dict[str, TypeStats] = {}
+        self.epochs: list[EpochStats] = []
+        self._current: EpochStats = EpochStats(epoch_index=0)
+        self.total: EpochStats = EpochStats(epoch_index=-1)
+        # No-op by default; the thread transport swaps in a real lock so
+        # concurrent handlers don't lose counts.
+        self.guard = contextlib.nullcontext()
+
+    # -- registration -----------------------------------------------------
+    def register_type(self, name: str) -> TypeStats:
+        if name in self.by_type:
+            raise ValueError(f"message type {name!r} already registered")
+        ts = TypeStats()
+        self.by_type[name] = ts
+        return ts
+
+    # -- epoch lifecycle ----------------------------------------------------
+    def begin_epoch(self) -> None:
+        self._current = EpochStats(epoch_index=len(self.epochs))
+
+    def end_epoch(self) -> EpochStats:
+        self.epochs.append(self._current)
+        done = self._current
+        self._current = EpochStats(epoch_index=len(self.epochs))
+        return done
+
+    @property
+    def current_epoch(self) -> EpochStats:
+        return self._current
+
+    # -- counting -----------------------------------------------------------
+    def count_send(self, name: str, remote: bool, slots: int) -> None:
+        with self.guard:
+            ts = self.by_type[name]
+            if remote:
+                ts.sent_remote += 1
+                self._current.sent_remote += 1
+                self.total.sent_remote += 1
+            else:
+                ts.sent_local += 1
+                self._current.sent_local += 1
+                self.total.sent_local += 1
+            ts.payload_slots += slots
+            self._current.payload_slots += slots
+            self.total.payload_slots += slots
+
+    def count_handler(self, name: str) -> None:
+        with self.guard:
+            self.by_type[name].handler_calls += 1
+            self._current.handler_calls += 1
+            self.total.handler_calls += 1
+
+    def count_flush(self, name: str, items: int) -> None:
+        with self.guard:
+            ts = self.by_type[name]
+            ts.coalesced_flushes += 1
+            ts.coalesced_items += items
+            self._current.coalesced_flushes += 1
+            self.total.coalesced_flushes += 1
+
+    def count_cache_hit(self, name: str) -> None:
+        with self.guard:
+            self.by_type[name].cache_hits += 1
+            self._current.cache_hits += 1
+            self.total.cache_hits += 1
+
+    def count_reduction(self, name: str) -> None:
+        with self.guard:
+            self.by_type[name].reduction_combines += 1
+            self._current.reduction_combines += 1
+            self.total.reduction_combines += 1
+
+    def count_control(self, n: int = 1) -> None:
+        with self.guard:
+            self._current.control_messages += n
+            self.total.control_messages += n
+
+    def count_work_item(self) -> None:
+        with self.guard:
+            self._current.work_items += 1
+            self.total.work_items += 1
+
+    def count_forward(self) -> None:
+        with self.guard:
+            self._current.forwarded += 1
+            self.total.forwarded += 1
+
+    # -- reporting ------------------------------------------------------------
+    def summary(self) -> dict[str, int]:
+        """Flat dict of headline totals, convenient for bench output."""
+        t = self.total
+        return {
+            "sent_local": t.sent_local,
+            "sent_remote": t.sent_remote,
+            "sent_total": t.sent_total,
+            "handler_calls": t.handler_calls,
+            "payload_slots": t.payload_slots,
+            "coalesced_flushes": t.coalesced_flushes,
+            "cache_hits": t.cache_hits,
+            "reduction_combines": t.reduction_combines,
+            "control_messages": t.control_messages,
+            "work_items": t.work_items,
+            "forwarded": t.forwarded,
+            "epochs": len(self.epochs),
+        }
+
+    def format_table(self) -> str:
+        """Human-readable per-type table (used by examples)."""
+        header = (
+            f"{'message type':<28}{'local':>9}{'remote':>9}{'handled':>9}"
+            f"{'flushes':>9}{'cachehit':>9}{'reduced':>9}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.by_type):
+            ts = self.by_type[name]
+            lines.append(
+                f"{name:<28}{ts.sent_local:>9}{ts.sent_remote:>9}"
+                f"{ts.handler_calls:>9}{ts.coalesced_flushes:>9}"
+                f"{ts.cache_hits:>9}{ts.reduction_combines:>9}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""Transport abstraction: moving active messages between ranks.
+
+Two transports implement this interface:
+
+* :class:`~repro.runtime.sim.SimTransport` — N simulated ranks in one
+  process with deterministic, seeded scheduling.  This is the default and
+  the one benchmarks use, because the paper's cost model is message counts,
+  which the simulation reproduces exactly and reproducibly.
+* :class:`~repro.runtime.threads.ThreadTransport` — one OS thread per rank
+  (optionally several worker threads per rank) with real queues; exercises
+  the lock-map synchronization story under true interleavings.
+
+Handlers receive a :class:`HandlerContext` bound to the executing rank;
+sending from a handler attributes the message to that rank, so local
+deliveries (``src == dest``) are distinguished from remote hops — the
+quantity the paper counts in Figs. 5-6.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from .message import Envelope, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import Machine
+
+
+class HandlerContext:
+    """Execution context passed to message handlers.
+
+    One context per rank exists per transport; it is reused across handler
+    invocations on that rank (handlers on a rank are serialized unless the
+    thread transport is configured with multiple workers per rank, in which
+    case property-map access must go through a lock map, Sec. IV-B).
+    """
+
+    __slots__ = ("machine", "rank", "worker")
+
+    def __init__(self, machine: "Machine", rank: int, worker: int = 0) -> None:
+        self.machine = machine
+        self.rank = rank
+        self.worker = worker
+
+    # -- sending -------------------------------------------------------------
+    def send(
+        self,
+        mtype: Union[MessageType, str],
+        payload: tuple,
+        dest: Optional[int] = None,
+    ) -> None:
+        """Send an active message from this rank (handlers may send freely)."""
+        self.machine.transport.send(self.rank, mtype, payload, dest)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        return self.machine.n_ranks
+
+    @property
+    def stats(self):
+        return self.machine.stats
+
+    def owner(self, vertex: int) -> int:
+        return self.machine.resolver.owner(vertex)
+
+    def is_local(self, vertex: int) -> bool:
+        return self.owner(vertex) == self.rank
+
+
+class Transport:
+    """Base class for transports.
+
+    Concrete transports implement queueing, the progress engine, and
+    quiescence.  The shared ``send`` path below resolves the destination,
+    walks the message type's layer stack (caching -> reduction -> coalescing,
+    in whatever order they were installed), updates statistics, and finally
+    enqueues an envelope.
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.n_ranks = machine.n_ranks
+
+    # -- public send ---------------------------------------------------------
+    def send(
+        self,
+        src: int,
+        mtype: Union[MessageType, str],
+        payload: tuple,
+        dest: Optional[int] = None,
+    ) -> None:
+        if isinstance(mtype, str):
+            mtype = self.machine.registry.by_name(mtype)
+        resolved = self.machine.resolver.resolve(mtype, payload, dest)
+        self._send_through(mtype, 0, src, resolved, payload)
+
+    def _send_through(
+        self, mtype: MessageType, layer_index: int, src: int, dest: int, payload: tuple
+    ) -> None:
+        """Pass ``payload`` through layer ``layer_index`` and below."""
+        layers = mtype.layers
+        if layer_index < len(layers):
+            layer = layers[layer_index]
+
+            def emit(p: tuple, d: int = dest) -> None:
+                self._send_through(mtype, layer_index + 1, src, d, p)
+
+            layer.send(src, dest, payload, emit)
+        else:
+            self._wire(mtype, src, dest, payload)
+
+    def _wire(
+        self, mtype: MessageType, src: int, dest: int, payload: tuple, batch: bool = False
+    ) -> None:
+        """Final enqueue onto the destination mailbox, with statistics."""
+        remote = src != dest and src >= 0
+        if batch:
+            # One physical transfer carrying many logical payloads.
+            slots = sum(len(p) for p in payload)
+        else:
+            slots = len(payload)
+        self.machine.stats.count_send(mtype.name, remote, slots)
+        # Driver-injected sends (src == -1) are attributed to the destination
+        # rank so termination balances stay consistent (sum == in-flight).
+        self.machine.detector.on_send(src if src >= 0 else dest)
+        env = Envelope(dest=dest, type_id=mtype.type_id, payload=payload, src=src)
+        self._enqueue(env, batch=batch)
+
+    def wire_batch(self, mtype: MessageType, src: int, dest: int, payloads: tuple) -> None:
+        """Used by the coalescing layer: ship many payloads as one envelope."""
+        self._wire(mtype, src, dest, payloads, batch=True)
+
+    # -- to implement ------------------------------------------------------------
+    def _enqueue(self, env: Envelope, batch: bool = False) -> None:
+        raise NotImplementedError
+
+    def flush_layers(self, mtype_filter=None) -> int:
+        """Flush all buffering layers on all types; returns items flushed."""
+        flushed = 0
+        for mtype in self.machine.registry:
+            if mtype_filter is not None and mtype is not mtype_filter:
+                continue
+            for i, layer in enumerate(mtype.layers):
+                for src in range(self.n_ranks):
+
+                    def emit(p: tuple, d: int | None = None, _i=i, _m=mtype, _s=src) -> None:
+                        if d is None:  # pragma: no cover - defensive
+                            raise ValueError("flush emit requires explicit destination")
+                        self._send_through(_m, _i + 1, _s, d, p)
+
+                    flushed += layer.flush(src, emit)
+        return flushed
+
+    def pending_layer_items(self) -> int:
+        return sum(
+            layer.pending() for mtype in self.machine.registry for layer in mtype.layers
+        )
+
+    def run_handler(self, env: Envelope, batch: bool) -> None:
+        """Dispatch one envelope at its destination rank."""
+        mtype = self.machine.registry.by_id(env.type_id)
+        ctx = self.context_for(env.dest)
+        self.machine.detector.on_receive(env.dest)
+        if batch:
+            for item in env.payload:
+                self.machine.stats.count_handler(mtype.name)
+                mtype.handler(ctx, item)
+        else:
+            self.machine.stats.count_handler(mtype.name)
+            mtype.handler(ctx, env.payload)
+
+    def context_for(self, rank: int) -> HandlerContext:
+        raise NotImplementedError
+
+    # -- progress / quiescence -------------------------------------------------
+    def drain(self) -> int:
+        """Run handlers until global quiescence; returns handlers run."""
+        raise NotImplementedError
+
+    def pending_messages(self) -> int:
+        raise NotImplementedError
+
+    def quiescent(self) -> bool:
+        return self.pending_messages() == 0 and self.pending_layer_items() == 0
+
+    def finish_epoch(self, detector) -> None:
+        """Drain and run the termination protocol until quiescence is proven."""
+        while True:
+            self.drain()
+            if detector.probe():
+                return
+
+    def shutdown(self) -> None:  # pragma: no cover - trivial default
+        """Release transport resources (threads, queues)."""

@@ -1,0 +1,28 @@
+"""The ``fixed_point`` strategy (paper Sec. II-A).
+
+    strategy fixed_point(action a, container vertices) {
+      a.work(Vertex v) = { a(v) };
+      epoch {
+        for (v in vertices) a(v);
+      }
+    }
+
+The action's work hook is set to immediately re-run the action at every
+dependent vertex; the epoch guarantees that all transitively produced work
+completes before the strategy returns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..patterns.executor import BoundAction
+from ..runtime.machine import Machine
+
+
+def fixed_point(machine: Machine, action: BoundAction, vertices: Iterable[int]) -> None:
+    """Run ``action`` at ``vertices`` and chase dependencies to a fixed point."""
+    action.work = lambda ctx, w: action.invoke_from(ctx, w)
+    with machine.epoch() as ep:
+        for v in vertices:
+            action.invoke(ep, v)

@@ -1,0 +1,111 @@
+"""BFS and PageRank pattern algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    bfs_fixed_point,
+    bfs_handwritten,
+    bfs_level_synchronous,
+    bfs_reference,
+    pagerank,
+    pagerank_reference,
+)
+from repro.analysis import HAVE_NETWORKX, distances_match, networkx_bfs_depths
+from repro.graph import build_graph, erdos_renyi, path, rmat, star
+
+
+def er(n=40, m=150, seed=0, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    g, _ = build_graph(n, list(zip(s, t)), n_ranks=n_ranks)
+    return g, s, t
+
+
+class TestBFS:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fixed_point_matches_reference(self, seed):
+        g, s, t = er(seed=seed)
+        d = bfs_fixed_point(Machine(4), g, 0)
+        assert distances_match(d, bfs_reference(40, s, t, 0))
+
+    def test_level_synchronous_matches(self):
+        g, s, t = er(seed=3)
+        d, levels = bfs_level_synchronous(Machine(4), g, 0, return_levels=True)
+        ref = bfs_reference(40, s, t, 0)
+        assert distances_match(d, ref)
+        finite = ref[np.isfinite(ref)]
+        assert levels >= int(finite.max()) + 1  # at least eccentricity epochs
+
+    def test_level_count_on_path(self):
+        s, t = path(8)
+        g, _ = build_graph(8, list(zip(s, t)), n_ranks=2)
+        d, levels = bfs_level_synchronous(Machine(2), g, 0, return_levels=True)
+        assert d.tolist() == list(range(8))
+        assert levels == 8  # frontier advances one hop per epoch
+
+    def test_star_depths(self):
+        s, t = star(9)
+        g, _ = build_graph(9, list(zip(s, t)), n_ranks=3)
+        d = bfs_fixed_point(Machine(3), g, 0)
+        assert d[0] == 0 and all(x == 1 for x in d[1:])
+
+    def test_unreachable_infinite(self):
+        g, _ = build_graph(4, [(0, 1)], n_ranks=2)
+        d = bfs_fixed_point(Machine(2), g, 0)
+        assert math.isinf(d[3])
+
+    def test_handwritten_parity(self):
+        g, s, t = er(seed=5)
+        a = bfs_fixed_point(Machine(4), g, 0)
+        b = bfs_handwritten(Machine(4), g, 0)
+        assert distances_match(a, b)
+
+    @pytest.mark.skipif(not HAVE_NETWORKX, reason="networkx unavailable")
+    def test_vs_networkx(self):
+        g, s, t = er(seed=6)
+        d = bfs_fixed_point(Machine(4), g, 0)
+        assert distances_match(d, networkx_bfs_depths(g, 0))
+
+
+class TestPageRank:
+    def test_matches_dense_reference(self):
+        g, s, t = er(n=25, m=100, seed=1)
+        pr = pagerank(Machine(4), g, iterations=40, tol=None)
+        ref = pagerank_reference(25, s, t, iterations=40)
+        assert np.allclose(pr, ref, atol=1e-10)
+
+    def test_ranks_sum_to_one(self):
+        g, s, t = er(n=30, m=120, seed=2)
+        pr = pagerank(Machine(4), g, iterations=30)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_dangling_vertices_handled(self):
+        # vertex 2 has no out-edges
+        g, _ = build_graph(3, [(0, 1), (1, 2)], n_ranks=2)
+        pr = pagerank(Machine(2), g, iterations=50)
+        ref = pagerank_reference(3, [0, 1], [1, 2], iterations=50)
+        assert np.allclose(pr, ref, atol=1e-9)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_hub_ranks_highest(self):
+        """All spokes point at the hub: hub has max rank."""
+        s, t = star(10)
+        g, _ = build_graph(10, list(zip(t, s)), n_ranks=4)  # reversed star
+        pr = pagerank(Machine(4), g, iterations=30)
+        assert pr.argmax() == 0
+
+    def test_early_convergence_with_tol(self):
+        g, s, t = er(n=20, m=80, seed=3)
+        pr1 = pagerank(Machine(4), g, iterations=200, tol=1e-12)
+        pr2 = pagerank(Machine(4), g, iterations=500, tol=1e-12)
+        assert np.allclose(pr1, pr2, atol=1e-9)
+
+    def test_rmat_skewed_graph(self):
+        s, t = rmat(5, edge_factor=8, seed=4)
+        g, _ = build_graph(32, list(zip(s, t)), n_ranks=4)
+        pr = pagerank(Machine(4), g, iterations=30)
+        ref = pagerank_reference(32, s, t, iterations=30)
+        assert np.allclose(pr, ref, atol=1e-9)

@@ -1,0 +1,141 @@
+"""Connected components: parallel search + pointer jumping vs oracles."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    cc_handwritten,
+    cc_label_propagation,
+    connected_components,
+)
+from repro.analysis import HAVE_NETWORKX, networkx_components
+from repro.baselines import same_partition, union_find_cc
+from repro.graph import build_graph, erdos_renyi, grid_2d, watts_strogatz
+
+
+def undirected(n, edges, n_ranks=4, partition="block"):
+    g, _ = build_graph(
+        n, edges, directed=False, n_ranks=n_ranks, partition=partition
+    )
+    return g
+
+
+def oracle_labels(n, edges):
+    s = [e[0] for e in edges]
+    t = [e[1] for e in edges]
+    return union_find_cc(n, s + t, t + s)
+
+
+THREE_COMPONENTS = (
+    12,
+    [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (8, 9), (9, 10), (10, 11)],
+)
+
+
+class TestParallelSearchCC:
+    @pytest.mark.parametrize("flush_budget", [None, 1, 3, 10])
+    def test_components_correct(self, flush_budget):
+        n, edges = THREE_COMPONENTS
+        g = undirected(n, edges)
+        comp = connected_components(Machine(4), g, flush_budget=flush_budget)
+        assert same_partition(comp, oracle_labels(n, edges))
+
+    def test_isolated_vertices_are_own_components(self):
+        g = undirected(5, [(0, 1)])
+        comp = connected_components(Machine(4), g)
+        assert len(set(comp.tolist())) == 4
+
+    def test_single_component(self):
+        n = 20
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        g = undirected(n, edges)
+        comp = connected_components(Machine(4), g)
+        assert len(set(comp.tolist())) == 1
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_graphs(self, seed):
+        s, t = erdos_renyi(40, 45, seed=seed)
+        edges = list(zip(s.tolist(), t.tolist()))
+        g = undirected(40, edges)
+        comp = connected_components(Machine(4), g, flush_budget=2)
+        assert same_partition(comp, oracle_labels(40, edges))
+
+    def test_grid(self):
+        s, t = grid_2d(5, 5)
+        g = undirected(25, list(zip(s.tolist(), t.tolist())))
+        comp = connected_components(Machine(4), g)
+        assert len(set(comp.tolist())) == 1
+
+    def test_details_reported(self):
+        n, edges = THREE_COMPONENTS
+        g = undirected(n, edges)
+        comp, det = connected_components(
+            Machine(4), g, flush_budget=1, return_details=True
+        )
+        assert det["searches_started"] >= 4  # one per component at least
+        assert det["claims"] >= n - det["searches_started"]
+        assert det["jump_rounds"] >= 0
+
+    def test_directed_graph_rejected(self):
+        g, _ = build_graph(4, [(0, 1), (1, 2)], directed=True, n_ranks=2)
+        with pytest.raises(ValueError, match="undirected"):
+            connected_components(Machine(2), g)
+
+    @pytest.mark.parametrize("schedule", ["round_robin", "random", "lifo"])
+    def test_schedule_independent(self, schedule):
+        s, t = erdos_renyi(30, 35, seed=5)
+        edges = list(zip(s.tolist(), t.tolist()))
+        g = undirected(30, edges)
+        comp = connected_components(
+            Machine(4, schedule=schedule, seed=42), g, flush_budget=1
+        )
+        assert same_partition(comp, oracle_labels(30, edges))
+
+    def test_concurrent_searches_create_collisions(self):
+        """A tiny flush budget starts many searches; collisions must be
+        recorded and resolved."""
+        n = 30
+        edges = [(i, i + 1) for i in range(n - 1)]  # one long path
+        g = undirected(n, edges)
+        comp, det = connected_components(
+            Machine(4), g, flush_budget=1, return_details=True
+        )
+        assert det["searches_started"] > 1
+        assert det["collisions"] > 0
+        assert len(set(comp.tolist())) == 1
+
+
+class TestAlternativeCC:
+    def test_label_propagation_matches(self):
+        s, t = watts_strogatz(30, 4, 0.3, seed=2)
+        edges = list(zip(s.tolist(), t.tolist()))
+        g = undirected(30, edges)
+        a = connected_components(Machine(4), g, flush_budget=2)
+        b = cc_label_propagation(Machine(4), g)
+        assert same_partition(a, b)
+
+    def test_handwritten_matches(self):
+        n, edges = THREE_COMPONENTS
+        g = undirected(n, edges)
+        a = connected_components(Machine(4), g)
+        b = cc_handwritten(Machine(4), g)
+        assert same_partition(a, b)
+
+    @pytest.mark.skipif(not HAVE_NETWORKX, reason="networkx unavailable")
+    def test_vs_networkx(self):
+        s, t = erdos_renyi(35, 40, seed=9)
+        edges = list(zip(s.tolist(), t.tolist()))
+        g = undirected(35, edges)
+        comp = connected_components(Machine(4), g, flush_budget=3)
+        assert same_partition(comp, networkx_components(g))
+
+
+class TestUnionFindOracle:
+    def test_basic(self):
+        labels = union_find_cc(5, [0, 2], [1, 3])
+        assert same_partition(labels, [0, 0, 1, 1, 2])
+
+    def test_empty(self):
+        labels = union_find_cc(3, [], [])
+        assert len(set(labels.tolist())) == 3

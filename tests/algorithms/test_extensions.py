@@ -1,0 +1,165 @@
+"""Extension algorithms (the paper's 'more algorithms' future work):
+MIS, greedy coloring, k-core, triangle counting."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    core_numbers,
+    core_numbers_reference,
+    count_triangles,
+    count_triangles_reference,
+    greedy_coloring,
+    k_core,
+    maximal_independent_set,
+    verify_coloring,
+    verify_mis,
+)
+from repro.graph import build_graph, complete, cycle, erdos_renyi, grid_2d
+
+
+def undirected(n, edges, n_ranks=4):
+    g, _ = build_graph(n, edges, directed=False, n_ranks=n_ranks, deduplicate=True)
+    return g
+
+
+def er_undirected(n=40, m=80, seed=0, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    return undirected(n, list(zip(s.tolist(), t.tolist())), n_ranks)
+
+
+class TestMIS:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_valid_on_random_graphs(self, seed):
+        g = er_undirected(seed=seed)
+        member = maximal_independent_set(Machine(4), g, seed=seed)
+        assert verify_mis(g, member)
+
+    def test_complete_graph_single_member(self):
+        s, t = complete(8)
+        g = undirected(8, list(zip(s.tolist(), t.tolist())))
+        member = maximal_independent_set(Machine(4), g)
+        assert member.sum() == 1
+        assert verify_mis(g, member)
+
+    def test_empty_graph_all_members(self):
+        g = undirected(6, [], n_ranks=3)
+        member = maximal_independent_set(Machine(3), g)
+        assert member.all()
+
+    def test_cycle_graph(self):
+        s, t = cycle(9)
+        g = undirected(9, list(zip(s.tolist(), t.tolist())), n_ranks=3)
+        member = maximal_independent_set(Machine(3), g)
+        assert verify_mis(g, member)
+        assert 3 <= member.sum() <= 4  # MIS of C9 has 3 or 4 vertices
+
+    def test_deterministic_per_seed(self):
+        g = er_undirected(seed=5)
+        a = maximal_independent_set(Machine(4), g, seed=3)
+        b = maximal_independent_set(Machine(4), g, seed=3)
+        assert (a == b).all()
+
+
+class TestColoring:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_proper_on_random_graphs(self, seed):
+        g = er_undirected(seed=seed, m=120)
+        colors = greedy_coloring(Machine(4), g, seed=seed)
+        assert verify_coloring(g, colors)
+
+    def test_color_budget(self):
+        g = er_undirected(seed=3, m=120)
+        colors = greedy_coloring(Machine(4), g)
+        max_deg = max(g.out_degree(v) for v in range(g.n_vertices))
+        assert colors.max() <= max_deg
+
+    def test_complete_graph_needs_n_colors(self):
+        s, t = complete(6)
+        g = undirected(6, list(zip(s.tolist(), t.tolist())), n_ranks=3)
+        colors = greedy_coloring(Machine(3), g)
+        assert verify_coloring(g, colors)
+        assert len(set(colors.tolist())) == 6
+
+    def test_grid_two_colorable_budget(self):
+        s, t = grid_2d(5, 5)
+        g = undirected(25, list(zip(s.tolist(), t.tolist())))
+        colors = greedy_coloring(Machine(4), g)
+        assert verify_coloring(g, colors)
+        assert colors.max() <= 4  # greedy on degree<=4 grid
+
+
+class TestKCore:
+    def test_path_graph_is_1_core(self):
+        g = undirected(5, [(i, i + 1) for i in range(4)], n_ranks=2)
+        assert k_core(Machine(2), g, 1).all()
+        assert not k_core(Machine(2), g, 2).any()
+
+    def test_cycle_is_2_core(self):
+        s, t = cycle(6)
+        g = undirected(6, list(zip(s.tolist(), t.tolist())), n_ranks=3)
+        assert k_core(Machine(3), g, 2).all()
+        assert not k_core(Machine(3), g, 3).any()
+
+    def test_cascading_removal(self):
+        # a triangle with a pendant path: 2-core is exactly the triangle
+        g = undirected(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5)], n_ranks=3)
+        member = k_core(Machine(3), g, 2)
+        assert member.tolist() == [True, True, True, False, False, False]
+
+    def test_k_zero_keeps_everything(self):
+        g = er_undirected(seed=6)
+        assert k_core(Machine(4), g, 0).all()
+
+    def test_negative_k_rejected(self):
+        g = er_undirected()
+        with pytest.raises(ValueError):
+            k_core(Machine(4), g, -1)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_core_numbers_match_reference(self, seed):
+        s, t = erdos_renyi(25, 60, seed=seed)
+        g = undirected(25, list(zip(s.tolist(), t.tolist())))
+        measured = core_numbers(lambda: Machine(4), g)
+        arcs = [(a, b) for _g, a, b in g.edges() if a < b]
+        oracle = core_numbers_reference(
+            25, [a for a, _ in arcs], [b for _, b in arcs]
+        )
+        assert measured.tolist() == oracle.tolist()
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        g = undirected(3, [(0, 1), (1, 2), (2, 0)], n_ranks=2)
+        assert count_triangles(Machine(2), g) == 1
+
+    def test_no_triangles_in_grid(self):
+        s, t = grid_2d(4, 4)
+        g = undirected(16, list(zip(s.tolist(), t.tolist())))
+        assert count_triangles(Machine(4), g) == 0
+
+    def test_complete_graph(self):
+        s, t = complete(6)
+        g = undirected(6, list(zip(s.tolist(), t.tolist())), n_ranks=3)
+        assert count_triangles(Machine(3), g) == 20  # C(6,3)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_graphs_match_reference(self, seed):
+        s, t = erdos_renyi(30, 120, seed=seed)
+        g = undirected(30, list(zip(s.tolist(), t.tolist())))
+        arcs = [(a, b) for _g, a, b in g.edges() if a < b]
+        oracle = count_triangles_reference(
+            30, [a for a, _ in arcs], [b for _, b in arcs]
+        )
+        assert count_triangles(Machine(4), g) == oracle
+
+    def test_two_generators_still_rejected(self):
+        """The DSL restriction that motivates the handwritten version."""
+        from repro.patterns import Pattern, PatternValidationError
+
+        p = Pattern("TWOGEN")
+        a = p.action("a")
+        a.adj()
+        with pytest.raises(PatternValidationError, match="fan-out"):
+            a.adj("u2")

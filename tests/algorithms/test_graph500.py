@@ -1,0 +1,120 @@
+"""Graph500 BFS kernel: parent arrays, validation, harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    bfs_parents,
+    bfs_reference,
+    run_graph500,
+    validate_bfs,
+)
+from repro.algorithms.graph500 import NO_PARENT
+from repro.graph import build_graph, erdos_renyi, path, rmat, star
+
+
+def er(n=50, m=200, seed=0, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    g, _ = build_graph(n, list(zip(s.tolist(), t.tolist())), n_ranks=n_ranks)
+    return g, s, t
+
+
+class TestParentBFS:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_valid_tree_on_random_graphs(self, seed):
+        g, s, t = er(seed=seed)
+        parent, levels = bfs_parents(Machine(4), g, 0)
+        assert validate_bfs(g, parent, 0) == []
+
+    def test_depths_match_bfs_reference(self):
+        g, s, t = er(seed=3)
+        parent, _ = bfs_parents(Machine(4), g, 0)
+        ref = bfs_reference(50, s, t, 0)
+        # depth via parent chasing == reference depth for every tree vertex
+        for v in range(50):
+            if parent[v] == NO_PARENT:
+                assert math.isinf(ref[v])
+                continue
+            d, u = 0, v
+            while u != 0:
+                u = int(parent[u])
+                d += 1
+                assert d <= 50
+            assert d == ref[v]
+
+    def test_path_graph_parents(self):
+        s, t = path(6)
+        g, _ = build_graph(6, list(zip(s.tolist(), t.tolist())), n_ranks=2)
+        parent, levels = bfs_parents(Machine(2), g, 0)
+        assert parent.tolist() == [0, 0, 1, 2, 3, 4]
+        assert levels == 6
+
+    def test_star_parents(self):
+        s, t = star(8)
+        g, _ = build_graph(8, list(zip(s.tolist(), t.tolist())), n_ranks=4)
+        parent, levels = bfs_parents(Machine(4), g, 0)
+        assert (parent == 0).all()
+        assert levels == 2
+
+    def test_unreachable_have_no_parent(self):
+        g, _ = build_graph(4, [(0, 1)], n_ranks=2)
+        parent, _ = bfs_parents(Machine(2), g, 0)
+        assert parent[2] == NO_PARENT and parent[3] == NO_PARENT
+        assert validate_bfs(g, parent, 0) == []
+
+
+class TestValidation:
+    def test_detects_foreign_tree_edge(self):
+        g, s, t = er(seed=4)
+        parent, _ = bfs_parents(Machine(4), g, 0)
+        bad = parent.copy()
+        victim = next(
+            v for v in range(50) if bad[v] not in (NO_PARENT, v, 49) and v != 0
+        )
+        bad[victim] = 49 if (49, victim) not in {(a, b) for _g, a, b in g.edges()} else 48
+        assert validate_bfs(g, bad, 0) != []
+
+    def test_detects_level_skip(self):
+        s, t = path(5)
+        g, _ = build_graph(5, list(zip(s.tolist(), t.tolist())), n_ranks=1)
+        parent = np.array([0, 0, 1, 2, 3])
+        parent[4] = 1  # (1 -> 4) is not even a graph edge
+        assert any("not in the graph" in p for p in validate_bfs(g, parent, 0))
+
+    def test_detects_missing_reachable_vertex(self):
+        s, t = path(4)
+        g, _ = build_graph(4, list(zip(s.tolist(), t.tolist())), n_ranks=1)
+        parent = np.array([0, 0, 1, NO_PARENT])
+        assert any("missing" in p for p in validate_bfs(g, parent, 0))
+
+    def test_detects_parent_cycle(self):
+        g, _ = build_graph(4, [(0, 1), (1, 2), (2, 1)], n_ranks=1)
+        parent = np.array([0, 2, 1, NO_PARENT])  # 1 <-> 2 cycle
+        assert any("cycle" in p or "missing" in p for p in validate_bfs(g, parent, 0))
+
+    def test_detects_wrong_root(self):
+        s, t = path(3)
+        g, _ = build_graph(3, list(zip(s.tolist(), t.tolist())), n_ranks=1)
+        parent = np.array([1, 0, 1])
+        assert any("root" in p for p in validate_bfs(g, parent, 0))
+
+
+class TestHarness:
+    def test_rmat_runs_validate(self):
+        s, t = rmat(6, edge_factor=8, seed=5)
+        g, _ = build_graph(64, list(zip(s.tolist(), t.tolist())), n_ranks=4)
+        result = run_graph500(lambda: Machine(4), g, n_roots=3, seed=1)
+        assert result["scale"] == 6
+        assert len(result["runs"]) == 3
+        for run in result["runs"]:
+            assert run["tree_vertices"] >= 1
+            assert run["edges_traversed"] >= 0
+        assert result["mean_edges_traversed"] > 0
+
+    def test_empty_graph_rejected(self):
+        g, _ = build_graph(4, [], n_ranks=2)
+        with pytest.raises(ValueError, match="no edges"):
+            run_graph500(lambda: Machine(2), g)

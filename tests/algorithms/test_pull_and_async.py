@@ -1,0 +1,91 @@
+"""Pull-mode SSSP and asynchronous residual PageRank."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    dijkstra_on_graph,
+    pagerank_async,
+    pagerank_reference,
+    sssp_fixed_point,
+    sssp_pull,
+)
+from repro.analysis import distances_match
+from repro.graph import build_graph, erdos_renyi, uniform_weights
+
+
+def bidirectional_graph(n=40, m=160, seed=0, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1, 8, seed=seed + 1)
+    return build_graph(
+        n, list(zip(s.tolist(), t.tolist())), weights=w, n_ranks=n_ranks,
+        bidirectional=True,
+    )
+
+
+class TestPullSSSP:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_dijkstra(self, seed):
+        g, wg = bidirectional_graph(seed=seed)
+        d = sssp_pull(Machine(4), g, wg, 0)
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+
+    def test_push_pull_duality(self):
+        g, wg = bidirectional_graph(seed=3)
+        d_pull = sssp_pull(Machine(4), g, wg, 0)
+        d_push = sssp_fixed_point(Machine(4), g, wg, 0)
+        assert distances_match(d_pull, d_push)
+
+    def test_requires_bidirectional(self):
+        s, t = erdos_renyi(10, 30, seed=4)
+        w = uniform_weights(30, 1, 5, seed=5)
+        g, wg = build_graph(10, list(zip(s.tolist(), t.tolist())), weights=w, n_ranks=2)
+        with pytest.raises(ValueError, match="bidirectional"):
+            sssp_pull(Machine(2), g, wg, 0)
+
+
+class TestAsyncPageRank:
+    def no_dangling_graph(self, n=30, seed=0, n_ranks=4):
+        """Every vertex gets at least one out-edge (dangling conventions
+        differ between async and power iteration; keep the comparison
+        clean)."""
+        s, t = erdos_renyi(n, n * 5, seed=seed)
+        extra_s = np.arange(n)
+        extra_t = (np.arange(n) + 1) % n
+        src = np.concatenate([s, extra_s])
+        trg = np.concatenate([t, extra_t])
+        g, _ = build_graph(n, list(zip(src.tolist(), trg.tolist())), n_ranks=n_ranks)
+        return g, src, trg
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_power_iteration(self, seed):
+        g, src, trg = self.no_dangling_graph(seed=seed)
+        pr_async = pagerank_async(Machine(4), g, eps=1e-12)
+        ref = pagerank_reference(g.n_vertices, src, trg, iterations=300)
+        assert np.allclose(pr_async, ref, atol=1e-7)
+
+    def test_ranks_sum_to_one(self):
+        g, _, _ = self.no_dangling_graph(seed=2)
+        pr = pagerank_async(Machine(4), g, eps=1e-10)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_looser_eps_converges_faster(self):
+        g, _, _ = self.no_dangling_graph(seed=3)
+        m_loose, m_tight = Machine(4), Machine(4)
+        pagerank_async(m_loose, g, eps=1e-4)
+        pagerank_async(m_tight, g, eps=1e-12)
+        assert (
+            m_loose.stats.total.handler_calls
+            < m_tight.stats.total.handler_calls
+        )
+
+    def test_dependent_props_drive_workset(self):
+        """The async driver is powered by the += dependency rule: the
+        spread action's residual accumulation fires the work hook."""
+        from repro.algorithms import pagerank_async_pattern
+        from repro.patterns import compile_action
+
+        p = pagerank_async_pattern(1e-9)
+        plan = compile_action(p.actions["spread"])
+        assert "residual" in plan.dependent_props

@@ -1,0 +1,139 @@
+"""SSSP: pattern algorithms vs oracles across graphs and machines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    dijkstra_on_graph,
+    dijkstra_reference,
+    sssp_delta_spmd,
+    sssp_delta_stepping,
+    sssp_fixed_point,
+    sssp_handwritten,
+)
+from repro.analysis import HAVE_NETWORKX, distances_match, networkx_sssp
+from repro.graph import (
+    build_graph,
+    erdos_renyi,
+    path,
+    rmat,
+    star,
+    uniform_weights,
+    watts_strogatz,
+)
+
+
+def er_graph(n=50, m=200, seed=0, n_ranks=4, partition="block"):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1, 10, seed=seed + 1)
+    return build_graph(
+        n, list(zip(s, t)), weights=w, n_ranks=n_ranks, partition=partition
+    )
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fixed_point_vs_dijkstra(self, seed):
+        g, wg = er_graph(seed=seed)
+        d = sssp_fixed_point(Machine(4), g, wg, 0)
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+
+    @pytest.mark.parametrize("partition", ["block", "cyclic", "hash"])
+    def test_partition_independent(self, partition):
+        g, wg = er_graph(partition=partition)
+        d = sssp_fixed_point(Machine(4), g, wg, 0)
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+
+    @pytest.mark.skipif(not HAVE_NETWORKX, reason="networkx unavailable")
+    def test_vs_networkx(self):
+        g, wg = er_graph(seed=7)
+        d = sssp_delta_stepping(Machine(4), g, wg, 0, 3.0)
+        assert distances_match(d, networkx_sssp(g, wg, 0))
+
+    def test_unreachable_stay_infinite(self):
+        g, wg = build_graph(4, [(0, 1)], weights=[1.0], n_ranks=2)
+        d = sssp_fixed_point(Machine(2), g, wg, 0)
+        assert d[1] == 1.0
+        assert math.isinf(d[2]) and math.isinf(d[3])
+
+    def test_source_distance_zero(self):
+        g, wg = er_graph()
+        d = sssp_fixed_point(Machine(4), g, wg, 5)
+        assert d[5] == 0.0
+
+    def test_path_graph_distances(self):
+        s, t = path(10)
+        g, wg = build_graph(10, list(zip(s, t)), weights=[1.0] * 9, n_ranks=3)
+        d = sssp_fixed_point(Machine(3), g, wg, 0)
+        assert d.tolist() == list(range(10))
+
+    def test_star_graph(self):
+        s, t = star(12)
+        g, wg = build_graph(12, list(zip(s, t)), weights=[2.0] * 11, n_ranks=4)
+        d = sssp_fixed_point(Machine(4), g, wg, 0)
+        assert d[0] == 0.0 and all(x == 2.0 for x in d[1:])
+
+    def test_parallel_edges_take_min(self):
+        g, wg = build_graph(2, [(0, 1), (0, 1)], weights=[5.0, 2.0], n_ranks=1)
+        d = sssp_fixed_point(Machine(1), g, wg, 0)
+        assert d[1] == 2.0
+
+    def test_zero_weight_edges(self):
+        g, wg = build_graph(3, [(0, 1), (1, 2)], weights=[0.0, 0.0], n_ranks=2)
+        d = sssp_fixed_point(Machine(2), g, wg, 0)
+        assert d.tolist() == [0.0, 0.0, 0.0]
+
+    def test_rmat_graph(self):
+        s, t = rmat(6, edge_factor=8, seed=1)
+        w = uniform_weights(len(s), 1, 5, seed=2)
+        g, wg = build_graph(64, list(zip(s, t)), weights=w, n_ranks=4)
+        d = sssp_delta_stepping(Machine(4), g, wg, 0, 2.0)
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+
+    def test_small_world_graph(self):
+        s, t = watts_strogatz(40, 4, 0.2, seed=3)
+        w = uniform_weights(len(s), 1, 3, seed=4)
+        g, wg = build_graph(40, list(zip(s, t)), weights=w, directed=False, n_ranks=4)
+        d = sssp_fixed_point(Machine(4), g, wg, 0)
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+
+
+class TestHandwrittenParity:
+    """Pattern-compiled and hand-coded SSSP agree (abstraction-cost exp C6)."""
+
+    def test_same_distances(self):
+        g, wg = er_graph(seed=4)
+        d_pat = sssp_fixed_point(Machine(4), g, wg, 0)
+        d_hw = sssp_handwritten(Machine(4), g, wg, 0)
+        assert distances_match(d_pat, d_hw)
+
+    def test_handwritten_with_coalescing(self):
+        g, wg = er_graph(seed=4)
+        m = Machine(4)
+        d = sssp_handwritten(m, g, wg, 0, coalescing=32)
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+        assert m.stats.total.coalesced_flushes > 0
+
+
+class TestSpmdDelta:
+    def test_threads_delta_matches(self):
+        g, wg = er_graph(seed=6, n_ranks=3)
+        m = Machine(3, transport="threads")
+        try:
+            d = sssp_delta_spmd(m, g, wg, 0, 3.0)
+        finally:
+            m.shutdown()
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+
+
+class TestDijkstraReference:
+    def test_simple(self):
+        d = dijkstra_reference(4, [0, 0, 1], [1, 2, 3], [1.0, 4.0, 1.0], 0)
+        assert d.tolist() == [0.0, 1.0, 4.0, 2.0]
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            dijkstra_reference(2, [0], [1], [-1.0], 0)

@@ -1,0 +1,115 @@
+"""SSSP with predecessor sets (the paper's set-insert example) and the
+chain strategy."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import dijkstra_on_graph
+from repro.algorithms.sssp import (
+    bind_sssp,
+    extract_path,
+    sssp_with_predecessors,
+)
+from repro.graph import build_graph, erdos_renyi, uniform_weights
+from repro.strategies import chain, run_until_quiet
+
+
+def er_graph(n=40, m=160, seed=0, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1, 10, seed=seed + 1)
+    return build_graph(n, list(zip(s, t)), weights=w, n_ranks=n_ranks)
+
+
+class TestPredecessors:
+    def test_distances_match_oracle(self):
+        g, wg = er_graph()
+        dist, preds = sssp_with_predecessors(Machine(4), g, wg, 0)
+        oracle = dijkstra_on_graph(g, wg, 0)
+        both_inf = np.isinf(dist) & np.isinf(oracle)
+        assert (both_inf | np.isclose(dist, oracle)).all()
+
+    def test_predecessors_lie_on_shortest_paths(self):
+        g, wg = er_graph(seed=2)
+        dist, preds = sssp_with_predecessors(Machine(4), g, wg, 0)
+        w_by_arc = {}
+        for gid, s, t in g.edges():
+            key = (s, t)
+            w_by_arc[key] = min(w_by_arc.get(key, np.inf), wg[gid])
+        for v in range(g.n_vertices):
+            if v == 0 or not np.isfinite(dist[v]):
+                continue
+            assert preds[v], f"reachable vertex {v} has no predecessor"
+            for u in preds[v]:
+                assert np.isclose(dist[u] + w_by_arc[(u, v)], dist[v])
+
+    def test_extract_path_is_shortest(self):
+        g, wg = er_graph(seed=3)
+        dist, preds = sssp_with_predecessors(Machine(4), g, wg, 0)
+        w_by_arc = {}
+        for gid, s, t in g.edges():
+            w_by_arc[(s, t)] = min(w_by_arc.get((s, t), np.inf), wg[gid])
+        for target in range(g.n_vertices):
+            path = extract_path(preds, dist, 0, target)
+            if not np.isfinite(dist[target]):
+                assert path == []
+                continue
+            assert path[0] == 0 and path[-1] == target
+            total = sum(w_by_arc[(a, b)] for a, b in zip(path, path[1:]))
+            assert np.isclose(total, dist[target])
+
+    def test_source_has_empty_predecessors(self):
+        g, wg = er_graph(seed=4)
+        _, preds = sssp_with_predecessors(Machine(4), g, wg, 0)
+        assert preds[0] == set()
+
+
+class TestChainStrategies:
+    def test_chain_runs_steps_in_order(self):
+        from repro.patterns import Pattern, bind
+
+        p = Pattern("TWOPHASE")
+        x = p.vertex_prop("x", float)
+        y = p.vertex_prop("y", float)
+        first = p.action("first")
+        with first.when(x[first.input] == 0):
+            first.set(x[first.input], 1.0)
+        second = p.action("second")
+        with second.when(x[second.input] == 1.0):
+            second.set(y[second.input], 2.0)
+        g, _ = build_graph(4, [(0, 1)], n_ranks=2)
+        m = Machine(2)
+        bp = bind(p, m, g)
+        chain(m, [(bp["first"], range(4)), (bp["second"], range(4))])
+        # second only fires because first completed before it started
+        assert bp.map("y").to_array().tolist() == [2.0] * 4
+        assert len(m.stats.epochs) == 2
+
+    def test_run_until_quiet_reaches_fixed_point(self):
+        g, wg = er_graph(seed=5)
+        m = Machine(4)
+        bp = bind_sssp(m, g, wg)
+        bp.map("dist")[0] = 0.0
+        rounds = run_until_quiet(m, bp["relax"], range(g.n_vertices))
+        assert rounds >= 1
+        oracle = dijkstra_on_graph(g, wg, 0)
+        d = bp.map("dist").to_array()
+        both_inf = np.isinf(d) & np.isinf(oracle)
+        assert (both_inf | np.isclose(d, oracle)).all()
+
+    def test_run_until_quiet_round_guard(self):
+        from repro.patterns import Pattern, bind
+
+        p = Pattern("FLIP")
+        x = p.vertex_prop("x", int)
+        a = p.action("flip")
+        v = a.input
+        with a.when(x[v] == 0):
+            a.set(x[v], 1)
+        with a.when(x[v] == 1):
+            a.set(x[v], 0)
+        g, _ = build_graph(2, [(0, 1)], n_ranks=1)
+        m = Machine(1)
+        bp = bind(p, m, g)
+        with pytest.raises(RuntimeError, match="rounds"):
+            run_until_quiet(m, bp["flip"], [0], max_rounds=10)

@@ -1,0 +1,104 @@
+"""Run reports and table formatting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.analysis import (
+    RunReport,
+    collect_report,
+    distances_match,
+    format_table,
+)
+from repro.graph import build_graph
+
+
+class TestRunReport:
+    def test_collect_from_machine(self):
+        m = Machine(n_ranks=3)
+        g, _ = build_graph(5, [(0, 1), (1, 2)], n_ranks=3)
+        m.register("t", lambda ctx, p: None, dest_rank_of=lambda p: p[0] % 3)
+        with m.epoch() as ep:
+            ep.invoke("t", (0,))
+            ep.invoke("t", (1,))
+        rep = collect_report("demo", m, g, custom=42)
+        assert rep.name == "demo"
+        assert rep.n_ranks == 3
+        assert rep.n_vertices == 5 and rep.n_edges == 2
+        assert rep.handler_calls == 2
+        assert rep.extra == {"custom": 42}
+        assert rep.row()["custom"] == 42
+
+    def test_remote_fraction(self):
+        rep = RunReport(
+            name="x",
+            n_ranks=2,
+            n_vertices=0,
+            n_edges=0,
+            sent_local=3,
+            sent_remote=1,
+            handler_calls=4,
+            payload_slots=0,
+            coalesced_flushes=0,
+            cache_hits=0,
+            reduction_combines=0,
+            control_messages=0,
+            work_items=0,
+            epochs=1,
+        )
+        assert rep.sent_total == 4
+        assert rep.remote_fraction == 0.25
+
+    def test_zero_messages_fraction(self):
+        rep = RunReport(
+            name="x",
+            n_ranks=1,
+            n_vertices=0,
+            n_edges=0,
+            sent_local=0,
+            sent_remote=0,
+            handler_calls=0,
+            payload_slots=0,
+            coalesced_flushes=0,
+            cache_hits=0,
+            reduction_combines=0,
+            control_messages=0,
+            work_items=0,
+            epochs=0,
+        )
+        assert rep.remote_fraction == 0.0
+
+
+class TestFormatTable:
+    def test_alignment_and_columns(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, sep, 2 rows
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_explicit_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        out = format_table(rows, columns=["b"])
+        assert "a" not in out.splitlines()[0]
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_missing_cells_blank(self):
+        out = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert out  # no KeyError
+
+
+class TestDistancesMatch:
+    def test_inf_equals_inf(self):
+        assert distances_match([1.0, math.inf], [1.0, math.inf])
+
+    def test_inf_vs_finite_differs(self):
+        assert not distances_match([math.inf], [5.0])
+
+    def test_tolerance(self):
+        assert distances_match([1.0], [1.0 + 1e-12])
+        assert not distances_match([1.0], [1.1])

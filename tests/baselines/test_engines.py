@@ -1,0 +1,108 @@
+"""Pregel and GraphLab baseline engines (paper Sec. V comparators)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    dijkstra_on_graph,
+    pagerank_reference,
+    sssp_fixed_point,
+)
+from repro.analysis import distances_match
+from repro.baselines import (
+    graphlab_cc,
+    graphlab_sssp,
+    pregel_cc,
+    pregel_pagerank,
+    pregel_sssp,
+    same_partition,
+    union_find_cc,
+)
+from repro.graph import build_graph, erdos_renyi, path, uniform_weights
+
+
+def er(n=40, m=160, seed=0, directed=True):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1, 8, seed=seed + 1)
+    g, wg = build_graph(n, list(zip(s, t)), weights=w, directed=directed, n_ranks=4)
+    return g, wg, s, t
+
+
+class TestPregelSSSP:
+    def test_matches_dijkstra(self):
+        g, wg, _, _ = er()
+        d, engine = pregel_sssp(g, wg, 0)
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+        assert engine.superstep > 1
+
+    def test_supersteps_bounded_by_hops(self):
+        s, t = path(10)
+        g, wg = build_graph(10, list(zip(s, t)), weights=[1.0] * 9, n_ranks=2)
+        d, engine = pregel_sssp(g, wg, 0)
+        assert d.tolist() == list(range(10))
+        # one superstep per hop (+ start/quiesce)
+        assert 10 <= engine.superstep <= 12
+
+    def test_combiner_reduces_deliveries(self):
+        g, wg, _, _ = er(seed=3)
+        _, engine = pregel_sssp(g, wg, 0)
+        assert engine.messages_delivered <= engine.messages_sent
+
+    def test_agrees_with_pattern_sssp(self):
+        g, wg, _, _ = er(seed=5)
+        d_pregel, _ = pregel_sssp(g, wg, 0)
+        d_pattern = sssp_fixed_point(Machine(4), g, wg, 0)
+        assert distances_match(d_pregel, d_pattern)
+
+
+class TestPregelCC:
+    def test_matches_union_find(self):
+        s, t = erdos_renyi(30, 35, seed=2)
+        g, _ = build_graph(30, list(zip(s, t)), directed=False, n_ranks=4)
+        labels, engine = pregel_cc(g)
+        oracle = union_find_cc(30, np.concatenate([s, t]), np.concatenate([t, s]))
+        assert same_partition(labels, oracle)
+
+
+class TestPregelPageRank:
+    def test_matches_reference(self):
+        g, _, s, t = er(n=25, m=100, seed=4)
+        pr, engine = pregel_pagerank(g, iterations=30)
+        ref = pagerank_reference(25, s, t, iterations=30)
+        assert np.allclose(pr, ref, atol=1e-9)
+        assert pr.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestGraphLab:
+    def test_sssp_matches(self):
+        g, wg, _, _ = er(seed=6)
+        d, engine = graphlab_sssp(g, wg, 0)
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+        assert engine.updates_run >= 1
+
+    def test_cc_matches(self):
+        s, t = erdos_renyi(30, 40, seed=7)
+        g, _ = build_graph(30, list(zip(s, t)), directed=False, n_ranks=4)
+        labels, _ = graphlab_cc(g)
+        oracle = union_find_cc(30, np.concatenate([s, t]), np.concatenate([t, s]))
+        assert same_partition(labels, oracle)
+
+    def test_scope_reads_counted(self):
+        g, wg, _, _ = er(seed=8)
+        _, engine = graphlab_sssp(g, wg, 0)
+        assert engine.scope_reads > 0
+
+    def test_update_budget_guard(self):
+        from repro.baselines import GraphLabEngine
+
+        g, wg, _, _ = er(seed=9)
+
+        def forever(scope):
+            return [scope.vertex]  # always reschedule self
+
+        engine = GraphLabEngine(g, forever, [0] * g.n_vertices, max_updates=100)
+        with pytest.raises(RuntimeError, match="max_updates"):
+            engine.run([0])

@@ -1,0 +1,154 @@
+"""DistributedGraph: construction, traversal, edge identity."""
+
+import numpy as np
+import pytest
+
+from repro.graph import build_graph, from_edges
+
+
+def diamond(n_ranks=2, partition="block", bidirectional=False):
+    """0->1, 0->2, 1->3, 2->3."""
+    g, gids = from_edges(
+        4,
+        [0, 0, 1, 2],
+        [1, 2, 3, 3],
+        n_ranks=n_ranks,
+        partition=partition,
+        bidirectional=bidirectional,
+    )
+    return g, gids
+
+
+class TestConstruction:
+    def test_shape(self):
+        g, _ = diamond()
+        assert g.n_vertices == 4
+        assert g.n_edges == 4
+        assert g.n_ranks == 2
+
+    def test_gid_of_input_aligns_endpoints(self):
+        g, gids = diamond()
+        expected = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        for i, gid in enumerate(gids):
+            assert (g.src(int(gid)), g.trg(int(gid))) == expected[i]
+
+    def test_out_edges(self):
+        g, _ = diamond()
+        eids, targets = g.out_edges(0)
+        assert sorted(targets.tolist()) == [1, 2]
+        assert len(eids) == 2
+        for e, t in zip(eids, targets):
+            assert g.src(int(e)) == 0
+            assert g.trg(int(e)) == int(t)
+
+    def test_out_degree(self):
+        g, _ = diamond()
+        assert [g.out_degree(v) for v in range(4)] == [2, 1, 1, 0]
+
+    def test_edge_owner_is_source_owner(self):
+        g, _ = diamond()
+        for gid, s, _t in g.edges():
+            assert g.edge_owner(gid) == g.owner(s)
+
+    @pytest.mark.parametrize("partition", ["block", "cyclic", "hash"])
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 4])
+    def test_structure_independent_of_distribution(self, partition, n_ranks):
+        g, _ = diamond(n_ranks=n_ranks, partition=partition)
+        arcs = sorted((s, t) for _gid, s, t in g.edges())
+        assert arcs == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+    def test_vertex_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edges(3, [0, 5], [1, 2], n_ranks=2)
+
+    def test_empty_graph(self):
+        g, gids = from_edges(5, [], [], n_ranks=2)
+        assert g.n_edges == 0
+        assert len(gids) == 0
+        assert g.out_degree(3) == 0
+
+    def test_parallel_edges_kept(self):
+        g, _ = from_edges(2, [0, 0], [1, 1], n_ranks=1)
+        assert g.n_edges == 2
+        assert g.out_degree(0) == 2
+
+    def test_edge_gid_out_of_range(self):
+        g, _ = diamond()
+        with pytest.raises(IndexError):
+            g.edge_owner(99)
+
+
+class TestBidirectional:
+    def test_in_edges_present(self):
+        g, _ = diamond(bidirectional=True)
+        gids, sources = g.in_edges(3)
+        assert sorted(sources.tolist()) == [1, 2]
+        for e, s in zip(gids, sources):
+            assert g.src(int(e)) == int(s)
+            assert g.trg(int(e)) == 3
+
+    def test_in_edges_unavailable_without_flag(self):
+        g, _ = diamond(bidirectional=False)
+        with pytest.raises(RuntimeError, match="bidirectional"):
+            g.in_edges(3)
+
+    def test_in_degree_zero_for_source(self):
+        g, _ = diamond(bidirectional=True)
+        gids, sources = g.in_edges(0)
+        assert len(gids) == 0
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3])
+    def test_in_out_duality(self, n_ranks):
+        g, _ = diamond(n_ranks=n_ranks, bidirectional=True)
+        out_arcs = sorted((s, t) for _g, s, t in g.edges())
+        in_arcs = sorted(
+            (int(s), v) for v in range(4) for s in g.in_edges(v)[1]
+        )
+        assert in_arcs == out_arcs
+
+
+class TestBuilder:
+    def test_weights_aligned_to_gids(self):
+        g, w = build_graph(
+            3, [(0, 1), (1, 2), (0, 2)], weights=[5.0, 7.0, 9.0], n_ranks=2
+        )
+        by_endpoint = {(g.src(gid), g.trg(gid)): w[gid] for gid in range(g.n_edges)}
+        assert by_endpoint == {(0, 1): 5.0, (1, 2): 7.0, (0, 2): 9.0}
+
+    def test_undirected_symmetrizes_with_shared_weight(self):
+        g, w = build_graph(3, [(0, 1), (1, 2)], weights=[4.0, 6.0], directed=False)
+        assert g.n_edges == 4
+        by_endpoint = {(g.src(gid), g.trg(gid)): w[gid] for gid in range(g.n_edges)}
+        assert by_endpoint[(0, 1)] == by_endpoint[(1, 0)] == 4.0
+        assert by_endpoint[(1, 2)] == by_endpoint[(2, 1)] == 6.0
+
+    def test_undirected_self_loop_not_duplicated(self):
+        g, _ = build_graph(2, [(0, 0), (0, 1)], directed=False)
+        assert g.n_edges == 3  # loop once + both arcs of (0,1)
+
+    def test_deduplicate(self):
+        g, _ = build_graph(3, [(0, 1), (0, 1), (1, 2)], deduplicate=True)
+        assert g.n_edges == 2
+
+    def test_mixed_weighted_unweighted_rejected(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder(3)
+        b.add_edge(0, 1, 2.0)
+        with pytest.raises(ValueError, match="all edges"):
+            b.add_edge(1, 2)
+
+    def test_self_loop_policy(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder(3, allow_self_loops=False)
+        b.add_edge(1, 1)
+        b.add_edge(0, 1)
+        g, _ = b.build(n_ranks=1)
+        assert g.n_edges == 1
+
+    def test_out_of_range_edge(self):
+        from repro.graph import GraphBuilder
+
+        with pytest.raises(ValueError, match="out of range"):
+            GraphBuilder(3).add_edge(0, 3)

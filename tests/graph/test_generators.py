@@ -1,0 +1,129 @@
+"""Graph generators: shapes, determinism, and structural properties."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete,
+    cycle,
+    erdos_renyi,
+    grid_2d,
+    path,
+    random_tree,
+    rmat,
+    star,
+    uniform_weights,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_shape(self):
+        s, t = erdos_renyi(50, 200, seed=1)
+        assert len(s) == len(t) == 200
+        assert s.min() >= 0 and s.max() < 50
+
+    def test_deterministic(self):
+        a = erdos_renyi(50, 100, seed=7)
+        b = erdos_renyi(50, 100, seed=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_no_self_loops_by_default(self):
+        s, t = erdos_renyi(10, 500, seed=3)
+        assert not (s == t).any()
+
+    def test_self_loops_allowed_when_asked(self):
+        s, t = erdos_renyi(4, 2000, seed=3, allow_self_loops=True)
+        assert (s == t).any()
+
+
+class TestRmat:
+    def test_shape_matches_graph500(self):
+        s, t = rmat(6, edge_factor=8, seed=0)
+        assert len(s) == 64 * 8
+        assert s.max() < 64 and t.max() < 64
+
+    def test_deterministic(self):
+        a = rmat(5, seed=11)
+        b = rmat(5, seed=11)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_degree_skew(self):
+        """R-MAT must be much more skewed than Erdős–Rényi."""
+        s, _ = rmat(9, edge_factor=16, seed=2, permute=False)
+        deg = np.bincount(s, minlength=512)
+        er_s, _ = erdos_renyi(512, 512 * 16, seed=2)
+        er_deg = np.bincount(er_s, minlength=512)
+        assert deg.max() > 3 * er_deg.max()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(4, a=0.5, b=0.3, c=0.3)
+        with pytest.raises(ValueError):
+            rmat(4, a=1.5)
+
+
+class TestLattices:
+    def test_path(self):
+        s, t = path(5)
+        assert list(zip(s, t)) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_cycle(self):
+        s, t = cycle(4)
+        assert (3, 0) in set(zip(s.tolist(), t.tolist()))
+        assert len(s) == 4
+
+    def test_star(self):
+        s, t = star(5)
+        assert set(s.tolist()) == {0}
+        assert sorted(t.tolist()) == [1, 2, 3, 4]
+
+    def test_complete(self):
+        s, t = complete(4)
+        assert len(s) == 12  # n(n-1) directed arcs
+        assert not (s == t).any()
+
+    def test_grid(self):
+        s, t = grid_2d(3, 4)
+        # 3*3 horizontal + 2*4 vertical = 17 undirected edges
+        assert len(s) == 17
+        arcs = set(zip(s.tolist(), t.tolist()))
+        assert (0, 1) in arcs and (0, 4) in arcs
+
+
+class TestWattsStrogatz:
+    def test_edge_count(self):
+        s, t = watts_strogatz(20, 4, 0.1, seed=0)
+        assert len(s) == 20 * 2  # n * k/2
+
+    def test_beta_zero_is_ring(self):
+        s, t = watts_strogatz(10, 2, 0.0, seed=0)
+        assert sorted(zip(s.tolist(), t.tolist())) == [(i, (i + 1) % 10) for i in range(10)]
+
+    def test_no_self_loops_after_rewiring(self):
+        s, t = watts_strogatz(30, 4, 1.0, seed=5)
+        assert not (s == t).any()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 2, 1.5)
+
+
+class TestTreeAndWeights:
+    def test_random_tree_is_connected_acyclic(self):
+        s, t = random_tree(40, seed=9)
+        assert len(s) == 39
+        # parents precede children -> acyclic; every non-root has a parent
+        assert (s < t).all()
+        assert sorted(t.tolist()) == list(range(1, 40))
+
+    def test_uniform_weights_range(self):
+        w = uniform_weights(1000, 2.0, 5.0, seed=4)
+        assert w.min() >= 2.0 and w.max() < 5.0
+
+    def test_uniform_weights_invalid_range(self):
+        with pytest.raises(ValueError):
+            uniform_weights(10, 5.0, 5.0)

@@ -1,0 +1,48 @@
+"""Edge-list file round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.graph import read_edge_list, write_edge_list
+
+
+class TestEdgeListIO:
+    def test_roundtrip_unweighted(self, tmp_path):
+        p = tmp_path / "g.el"
+        write_edge_list(p, 5, [0, 1, 2], [1, 2, 4])
+        n, s, t, w = read_edge_list(p)
+        assert n == 5
+        np.testing.assert_array_equal(s, [0, 1, 2])
+        np.testing.assert_array_equal(t, [1, 2, 4])
+        assert w is None
+
+    def test_roundtrip_weighted_exact(self, tmp_path):
+        p = tmp_path / "g.el"
+        weights = [0.1, 2.5, 1e-9]
+        write_edge_list(p, 3, [0, 1, 0], [1, 2, 2], weights)
+        _, _, _, w = read_edge_list(p)
+        np.testing.assert_array_equal(w, weights)  # repr() round-trips floats
+
+    def test_vertex_count_inferred_without_header(self, tmp_path):
+        p = tmp_path / "g.el"
+        p.write_text("0 3\n1 2\n")
+        n, s, t, w = read_edge_list(p)
+        assert n == 4
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        p = tmp_path / "g.el"
+        p.write_text("# vertices: 9\n\n# a comment\n0 1\n")
+        n, s, t, _ = read_edge_list(p)
+        assert n == 9 and len(s) == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        p = tmp_path / "g.el"
+        p.write_text("0 1 2 3\n")
+        with pytest.raises(ValueError, match="expected"):
+            read_edge_list(p)
+
+    def test_inconsistent_weights_rejected(self, tmp_path):
+        p = tmp_path / "g.el"
+        p.write_text("0 1 2.0\n1 2\n")
+        with pytest.raises(ValueError, match="inconsistent"):
+            read_edge_list(p)

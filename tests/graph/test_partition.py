@@ -1,0 +1,86 @@
+"""Partitions: owner/local-index consistency across all distributions."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    PARTITIONS,
+    BlockPartition,
+    CyclicPartition,
+    HashPartition,
+    make_partition,
+)
+
+
+@pytest.mark.parametrize("kind", sorted(PARTITIONS))
+@pytest.mark.parametrize("n,p", [(1, 1), (10, 3), (17, 4), (100, 7), (5, 8)])
+class TestPartitionInvariants:
+    def test_every_vertex_has_exactly_one_owner_slot(self, kind, n, p):
+        part = make_partition(kind, n, p)
+        seen = set()
+        for v in range(n):
+            r = part.owner(v)
+            assert 0 <= r < p
+            li = part.local_index(v)
+            assert 0 <= li < part.rank_size(r)
+            assert part.to_global(r, li) == v
+            seen.add((r, li))
+        assert len(seen) == n
+
+    def test_rank_sizes_sum_to_n(self, kind, n, p):
+        part = make_partition(kind, n, p)
+        assert sum(part.rank_size(r) for r in range(p)) == n
+
+    def test_local_vertices_cover_all(self, kind, n, p):
+        part = make_partition(kind, n, p)
+        union = np.concatenate([part.local_vertices(r) for r in range(p)])
+        assert sorted(union.tolist()) == list(range(n))
+
+    def test_vectorized_matches_scalar(self, kind, n, p):
+        part = make_partition(kind, n, p)
+        vs = np.arange(n, dtype=np.int64)
+        np.testing.assert_array_equal(
+            part.owner_array(vs), [part.owner(v) for v in range(n)]
+        )
+        np.testing.assert_array_equal(
+            part.local_index_array(vs), [part.local_index(v) for v in range(n)]
+        )
+
+
+class TestPartitionSpecifics:
+    def test_block_is_contiguous(self):
+        part = BlockPartition(10, 3)
+        # 10 = 4 + 3 + 3
+        assert [part.owner(v) for v in range(10)] == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_cyclic_is_round_robin(self):
+        part = CyclicPartition(7, 3)
+        assert [part.owner(v) for v in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_hash_is_deterministic(self):
+        a = HashPartition(50, 4)
+        b = HashPartition(50, 4)
+        assert [a.owner(v) for v in range(50)] == [b.owner(v) for v in range(50)]
+
+    def test_hash_spreads_contiguous_ids(self):
+        part = HashPartition(1000, 4)
+        owners = [part.owner(v) for v in range(1000)]
+        counts = np.bincount(owners, minlength=4)
+        assert counts.min() > 150  # roughly balanced
+
+    def test_out_of_range_vertex(self):
+        part = BlockPartition(5, 2)
+        with pytest.raises(IndexError):
+            part.owner(5)
+        with pytest.raises(IndexError):
+            part.owner(-1)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown partition"):
+            make_partition("diagonal", 10, 2)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            BlockPartition(-1, 2)
+        with pytest.raises(ValueError):
+            BlockPartition(10, 0)

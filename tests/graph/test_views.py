@@ -1,0 +1,103 @@
+"""Graph views: reversal and induced subgraphs."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import dijkstra_on_graph, sssp_fixed_point
+from repro.analysis import distances_match
+from repro.graph import (
+    build_graph,
+    erdos_renyi,
+    induced_subgraph,
+    reverse_graph,
+    uniform_weights,
+)
+
+
+@pytest.fixture
+def weighted():
+    s, t = erdos_renyi(20, 60, seed=2)
+    w = uniform_weights(60, 1, 5, seed=3)
+    return build_graph(20, list(zip(s.tolist(), t.tolist())), weights=w, n_ranks=3)
+
+
+class TestReverse:
+    def test_arcs_flipped_weights_follow(self, weighted):
+        g, wg = weighted
+        r, rw = reverse_graph(g, wg)
+        fwd = sorted((s, t, round(wg[gid], 6)) for gid, s, t in g.edges())
+        rev = sorted((t, s, round(rw[gid], 6)) for gid, s, t in r.edges())
+        assert fwd == rev
+
+    def test_double_reverse_is_identity(self, weighted):
+        g, wg = weighted
+        rr, rrw = reverse_graph(*reverse_graph(g, wg))
+        assert sorted((s, t) for _g, s, t in g.edges()) == sorted(
+            (s, t) for _g, s, t in rr.edges()
+        )
+
+    def test_no_weights(self, weighted):
+        g, _ = weighted
+        r, rw = reverse_graph(g)
+        assert rw is None
+        assert r.n_edges == g.n_edges
+
+    def test_reverse_sssp_gives_to_source_distances(self, weighted):
+        """SSSP on the reversed graph = shortest distances *to* the source."""
+        g, wg = weighted
+        r, rw = reverse_graph(g, wg)
+        d_to = sssp_fixed_point(Machine(3), r, rw, 0)
+        # oracle: run Dijkstra from every u and take dist(u -> 0)
+        for u in range(g.n_vertices):
+            fwd = dijkstra_on_graph(g, wg, u)
+            assert (
+                np.isinf(d_to[u])
+                and np.isinf(fwd[0])
+                or np.isclose(d_to[u], fwd[0])
+            )
+
+
+class TestInducedSubgraph:
+    def test_by_vertex_list(self, weighted):
+        g, wg = weighted
+        keep = [0, 1, 2, 3, 4, 5]
+        sub, sw, old = induced_subgraph(g, keep, wg)
+        assert old.tolist() == keep
+        assert sub.n_vertices == 6
+        expected = sorted(
+            (s, t)
+            for _g, s, t in g.edges()
+            if s in set(keep) and t in set(keep)
+        )
+        got = sorted((int(old[s]), int(old[t])) for _g, s, t in sub.edges())
+        assert got == expected
+
+    def test_by_boolean_mask(self, weighted):
+        g, wg = weighted
+        mask = np.zeros(g.n_vertices, dtype=bool)
+        mask[:10] = True
+        sub, _, old = induced_subgraph(g, mask, wg)
+        assert sub.n_vertices == 10
+        assert old.tolist() == list(range(10))
+
+    def test_weights_follow(self, weighted):
+        g, wg = weighted
+        sub, sw, old = induced_subgraph(g, list(range(12)), wg)
+        for gid in range(sub.n_edges):
+            s, t = sub.src(gid), sub.trg(gid)
+            os, ot = int(old[s]), int(old[t])
+            candidates = [
+                wg[g2] for g2, a, b in g.edges() if a == os and b == ot
+            ]
+            assert any(np.isclose(sw[gid], c) for c in candidates)
+
+    def test_mask_length_checked(self, weighted):
+        g, wg = weighted
+        with pytest.raises(ValueError, match="mask"):
+            induced_subgraph(g, np.array([True, False]))
+
+    def test_empty_subgraph(self, weighted):
+        g, _ = weighted
+        sub, _, old = induced_subgraph(g, [])
+        assert sub.n_vertices == 0 and sub.n_edges == 0

@@ -1,0 +1,42 @@
+"""Shared pattern fixtures: the paper's SSSP pattern and helpers."""
+
+import math
+
+import pytest
+
+from repro.patterns import Pattern, trg
+
+
+def make_sssp_pattern():
+    """The paper's Fig. 2 SSSP pattern."""
+    p = Pattern("SSSP")
+    dist = p.vertex_prop("dist", float, default=math.inf)
+    weight = p.edge_prop("weight", float)
+    relax = p.action("relax")
+    v = relax.input
+    e = relax.out_edges()
+    new_dist = relax.let("new_dist", dist[v] + weight[e])
+    with relax.when(new_dist < dist[trg(e)]):
+        relax.set(dist[trg(e)], new_dist)
+    return p
+
+
+def make_jump_pattern():
+    """Pointer-jumping over a parent map (cc_jump's shape, Fig. 4)."""
+    p = Pattern("JUMP")
+    prnt = p.vertex_prop("prnt", "vertex", default=0)
+    jump = p.action("jump")
+    v = jump.input
+    with jump.when(prnt[prnt[v]] < prnt[v]):
+        jump.set(prnt[v], prnt[prnt[v]])
+    return p
+
+
+@pytest.fixture
+def sssp_pattern():
+    return make_sssp_pattern()
+
+
+@pytest.fixture
+def jump_pattern():
+    return make_jump_pattern()

@@ -1,0 +1,198 @@
+"""Action builder: grammar restrictions from paper Sec. III-C."""
+
+import pytest
+
+from repro.patterns import Pattern, PatternValidationError, PatternTypeError, trg
+from repro.patterns.planner import compile_action
+
+
+def base():
+    p = Pattern("T")
+    dist = p.vertex_prop("dist", float)
+    weight = p.edge_prop("weight", float)
+    preds = p.vertex_prop("preds", "set")
+    return p, dist, weight, preds
+
+
+class TestGenerators:
+    def test_at_most_one_generator(self):
+        p, *_ = base()
+        a = p.action("a")
+        a.out_edges()
+        with pytest.raises(PatternValidationError, match="fan-out"):
+            a.adj()
+
+    def test_generator_must_precede_conditions(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        with a.when(dist[a.input] < 1):
+            a.set(dist[a.input], 0)
+        with pytest.raises(PatternValidationError, match="before"):
+            a.out_edges()
+
+    def test_builtin_generators(self):
+        p, *_ = base()
+        assert p.action("a1").out_edges().kind == "edge"
+        assert p.action("a2").in_edges().kind == "edge"
+        assert p.action("a3").adj().kind == "vertex"
+
+    def test_set_map_generator(self):
+        p, dist, _, preds = base()
+        a = p.action("a")
+        u = a.generate_from(preds[a.input])
+        assert u.kind == "vertex"
+
+    def test_set_generator_must_be_at_input(self):
+        p, dist, _, preds = base()
+        a = p.action("a")
+        other = p.vertex_prop("other", "vertex")
+        with pytest.raises(PatternValidationError, match="input"):
+            a.generate_from(preds[other[a.input]])
+
+    def test_scalar_map_not_a_generator(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        with pytest.raises(PatternTypeError, match="set-valued"):
+            a.generate_from(dist[a.input])
+
+
+class TestConditions:
+    def test_conditions_do_not_nest(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        with a.when(dist[a.input] < 1):
+            a.set(dist[a.input], 0)
+            with pytest.raises(PatternValidationError, match="nest"):
+                with a.when(dist[a.input] > 1):
+                    pass  # pragma: no cover
+
+    def test_empty_condition_body_rejected(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        with pytest.raises(PatternValidationError, match="no modifications"):
+            with a.when(dist[a.input] < 1):
+                pass
+
+    def test_elsewhen_requires_preceding_if(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        with pytest.raises(PatternValidationError, match="follow"):
+            with a.elsewhen(dist[a.input] < 1):
+                a.set(dist[a.input], 0)
+
+    def test_otherwise_requires_preceding_if(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        with pytest.raises(PatternValidationError, match="follow"):
+            with a.otherwise():
+                a.set(dist[a.input], 0)
+
+    def test_group_numbering(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        v = a.input
+        with a.when(dist[v] < 1):
+            a.set(dist[v], 0)
+        with a.elsewhen(dist[v] < 2):
+            a.set(dist[v], 1)
+        with a.otherwise():
+            a.set(dist[v], 2)
+        with a.when(dist[v] > 5):
+            a.set(dist[v], 5)
+        assert [c.group for c in a.conditions] == [0, 0, 0, 1]
+
+    def test_modification_outside_condition_rejected(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        with pytest.raises(PatternValidationError, match="when"):
+            a.set(dist[a.input], 0)
+
+    def test_assignment_target_must_be_property_read(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        with a.when(dist[a.input] < 1):
+            with pytest.raises(PatternTypeError, match="target"):
+                a.set(a.input, 0)
+            a.set(dist[a.input], 0)  # keep the body legal
+
+    def test_insert_requires_set_map(self):
+        p, dist, _, preds = base()
+        a = p.action("a")
+        with a.when(dist[a.input] < 1):
+            with pytest.raises(PatternTypeError):
+                a.insert(dist[a.input], a.input)
+            a.insert(preds[a.input], a.input)
+
+    def test_exception_in_body_does_not_record_condition(self):
+        p, dist, *_ = base()
+        a = p.action("a")
+        with pytest.raises(RuntimeError, match="boom"):
+            with a.when(dist[a.input] < 1):
+                raise RuntimeError("boom")
+        assert a.conditions == []
+
+
+class TestAnalysisAccessors:
+    def test_dependent_props_sssp(self):
+        from .conftest import make_sssp_pattern
+
+        p = make_sssp_pattern()
+        relax = p.actions["relax"]
+        assert relax.dependent_props() == {"dist"}
+        assert relax.read_props() == {"dist", "weight"}
+        assert relax.written_props() == {"dist"}
+
+    def test_no_dependency_when_write_only(self):
+        p, dist, *_ = base()
+        mark = p.vertex_prop("mark", int)
+        a = p.action("a")
+        with a.when(dist[a.input] < 1):
+            a.set(mark[a.input], 1)
+        assert a.dependent_props() == set()
+
+    def test_describe_mentions_parts(self):
+        from .conftest import make_sssp_pattern
+
+        text = make_sssp_pattern().describe()
+        assert "pattern SSSP" in text
+        assert "vertex-property" in text
+        assert "generator: e in out_edges(v)" in text
+        assert "dist[trg(e)] = new_dist" in text
+
+
+class TestCompileValidation:
+    def test_action_without_conditions_rejected(self):
+        p, *_ = base()
+        a = p.action("a")
+        with pytest.raises(PatternValidationError, match="no conditions"):
+            compile_action(a)
+
+    def test_foreign_variable_rejected(self):
+        p, dist, *_ = base()
+        a1 = p.action("a1")
+        a2 = p.action("a2")
+        with a2.when(dist[a1.input] < 1):
+            a2.set(dist[a1.input], 0)
+        with pytest.raises(PatternValidationError, match="variable of action"):
+            compile_action(a2)
+
+    def test_genvar_without_generator_rejected(self):
+        p, dist, weight, _ = base()
+        donor = p.action("donor")
+        e = donor.out_edges()
+        a = p.action("a")
+        with a.when(weight[e] < 1):
+            a.set(dist[a.input], 0)
+        with pytest.raises(PatternValidationError, match="variable of action"):
+            compile_action(a)
+
+    def test_duplicate_action_name_rejected(self):
+        p, *_ = base()
+        p.action("dup")
+        with pytest.raises(ValueError, match="already declared"):
+            p.action("dup")
+
+    def test_duplicate_property_rejected(self):
+        p, *_ = base()
+        with pytest.raises(ValueError, match="already declared"):
+            p.vertex_prop("dist", float)

@@ -1,0 +1,307 @@
+"""End-to-end pattern execution over the runtime."""
+
+import math
+
+import pytest
+
+from repro import Machine
+from repro.graph import build_graph
+from repro.patterns import Pattern, PlanningError, bind, trg
+from repro.props import weight_map_from_array
+from repro.runtime import SCHEDULES
+
+from .conftest import make_jump_pattern, make_sssp_pattern
+
+
+def sssp_setup(n_ranks=3, schedule="round_robin", mode="optimized"):
+    g, w = build_graph(
+        6,
+        [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (1, 4), (4, 5)],
+        weights=[2, 1, 3, 1, 5, 9, 1],
+        n_ranks=n_ranks,
+    )
+    m = Machine(n_ranks=n_ranks, schedule=schedule)
+    bp = bind(
+        make_sssp_pattern(),
+        m,
+        g,
+        props={"weight": weight_map_from_array(g, w)},
+        mode=mode,
+    )
+    return g, m, bp
+
+
+EXPECTED = [0.0, 2.0, 1.0, 2.0, 7.0, 8.0]
+
+
+class TestSSSPExecution:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 6])
+    def test_fixed_point_distances(self, n_ranks):
+        g, m, bp = sssp_setup(n_ranks=n_ranks)
+        relax = bp["relax"]
+        relax.work = lambda ctx, u: relax.invoke_from(ctx, u)
+        bp.map("dist")[0] = 0.0
+        with m.epoch() as ep:
+            relax.invoke(ep, 0)
+        assert bp.map("dist").to_array().tolist() == EXPECTED
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_schedule_independent(self, schedule):
+        g, m, bp = sssp_setup(schedule=schedule)
+        relax = bp["relax"]
+        relax.work = lambda ctx, u: relax.invoke_from(ctx, u)
+        bp.map("dist")[0] = 0.0
+        with m.epoch() as ep:
+            relax.invoke(ep, 0)
+        assert bp.map("dist").to_array().tolist() == EXPECTED
+
+    @pytest.mark.parametrize("mode", ["optimized", "naive"])
+    def test_modes_agree(self, mode):
+        g, m, bp = sssp_setup(mode=mode)
+        relax = bp["relax"]
+        relax.work = lambda ctx, u: relax.invoke_from(ctx, u)
+        bp.map("dist")[0] = 0.0
+        with m.epoch() as ep:
+            relax.invoke(ep, 0)
+        assert bp.map("dist").to_array().tolist() == EXPECTED
+
+    def test_dependencies_ignored_by_default(self):
+        """Without a work hook only direct neighbours improve (one wave)."""
+        g, m, bp = sssp_setup()
+        relax = bp["relax"]
+        bp.map("dist")[0] = 0.0
+        with m.epoch() as ep:
+            relax.invoke(ep, 0)
+        d = bp.map("dist").to_array()
+        assert d[1] == 2.0 and d[2] == 1.0
+        assert math.isinf(d[4]) and math.isinf(d[5])
+
+    def test_change_and_assign_counters(self):
+        g, m, bp = sssp_setup()
+        relax = bp["relax"]
+        relax.work = lambda ctx, u: relax.invoke_from(ctx, u)
+        bp.map("dist")[0] = 0.0
+        with m.epoch() as ep:
+            relax.invoke(ep, 0)
+        assert relax.change_count >= 5  # every reachable vertex improved once
+        assert relax.assign_count >= relax.change_count
+        relax.reset_counters()
+        assert relax.change_count == 0
+
+    def test_callable_invocation(self):
+        g, m, bp = sssp_setup()
+        relax = bp["relax"]
+        bp.map("dist")[0] = 0.0
+        with m.epoch() as ep:
+            relax(ep, 0)  # __call__ alias
+        assert bp.map("dist")[1] == 2.0
+
+    def test_work_hook_receives_dependent_vertex(self):
+        g, m, bp = sssp_setup()
+        relax = bp["relax"]
+        seen = []
+        relax.work = lambda ctx, u: seen.append(u)
+        bp.map("dist")[0] = 0.0
+        with m.epoch() as ep:
+            relax.invoke(ep, 0)
+        assert sorted(set(seen)) == [1, 2]  # direct improvements only
+
+    def test_work_items_counted_in_stats(self):
+        g, m, bp = sssp_setup()
+        relax = bp["relax"]
+        relax.work = lambda ctx, u: relax.invoke_from(ctx, u)
+        bp.map("dist")[0] = 0.0
+        with m.epoch() as ep:
+            relax.invoke(ep, 0)
+        assert m.stats.total.work_items == relax.change_count
+
+
+class TestPointerJumping:
+    def test_jump_converges(self):
+        g, _ = build_graph(8, [(0, 1)], n_ranks=4)
+        m = Machine(n_ranks=4)
+        bp = bind(make_jump_pattern(), m, g)
+        pm = bp.map("prnt")
+        for v in range(8):
+            pm[v] = max(v - 1, 0)
+        jump = bp["jump"]
+        rounds = 0
+        while True:
+            before = jump.change_count
+            with m.epoch() as ep:
+                for v in range(8):
+                    jump.invoke(ep, v)
+            rounds += 1
+            if jump.change_count == before:
+                break
+        assert pm.to_array().tolist() == [0] * 8
+        # pointer jumping halves chain length each round: O(log n) rounds
+        assert rounds <= 5
+
+
+class TestGenerators:
+    def test_adj_generator(self):
+        p = Pattern("ADJ")
+        mark = p.vertex_prop("mark", int)
+        a = p.action("touch")
+        u = a.adj()
+        with a.when(mark[u] == 0):
+            a.set(mark[u], 1)
+        g, _ = build_graph(5, [(0, 1), (0, 2), (0, 3)], n_ranks=2)
+        m = Machine(n_ranks=2)
+        bp = bind(p, m, g)
+        with m.epoch() as ep:
+            bp["touch"].invoke(ep, 0)
+        assert bp.map("mark").to_array().tolist() == [0, 1, 1, 1, 0]
+
+    def test_in_edges_generator(self):
+        p = Pattern("IN")
+        dist = p.vertex_prop("dist", float, default=math.inf)
+        weight = p.edge_prop("weight", float)
+        pull = p.action("pull")
+        v = pull.input
+        e = pull.in_edges()
+        from repro.patterns import src
+
+        better = pull.let("better", dist[src(e)] + weight[e])
+        with pull.when(better < dist[v]):
+            pull.set(dist[v], better)
+        g, w = build_graph(
+            3, [(0, 1), (1, 2)], weights=[4.0, 2.0], n_ranks=2, bidirectional=True
+        )
+        m = Machine(n_ranks=2)
+        bp = bind(p, m, g, props={"weight": weight_map_from_array(g, w)})
+        bp.map("dist")[0] = 0.0
+        for target in (1, 2):
+            with m.epoch() as ep:
+                bp["pull"].invoke(ep, target)
+        assert bp.map("dist").to_array().tolist() == [0.0, 4.0, 6.0]
+
+    def test_set_map_generator(self):
+        p = Pattern("SETGEN")
+        nbrs = p.vertex_prop("nbrs", "set")
+        mark = p.vertex_prop("mark", int)
+        a = p.action("spread")
+        u = a.generate_from(nbrs[a.input])
+        with a.when(mark[u] == 0):
+            a.set(mark[u], 1)
+        g, _ = build_graph(5, [(0, 1)], n_ranks=2)
+        m = Machine(n_ranks=2)
+        bp = bind(p, m, g)
+        bp.map("nbrs")[0] = {2, 4}
+        with m.epoch() as ep:
+            bp["spread"].invoke(ep, 0)
+        assert bp.map("mark").to_array().tolist() == [0, 0, 1, 0, 1]
+
+    def test_no_generator_runs_once(self):
+        p = Pattern("NOGEN")
+        x = p.vertex_prop("x", int)
+        a = p.action("bump")
+        with a.when(x[a.input] == 0):
+            a.set(x[a.input], 7)
+        g, _ = build_graph(3, [(0, 1)], n_ranks=2)
+        m = Machine(n_ranks=2)
+        bp = bind(p, m, g)
+        with m.epoch() as ep:
+            bp["bump"].invoke(ep, 1)
+        assert bp.map("x").to_array().tolist() == [0, 7, 0]
+
+
+class TestConditionChainsAtRuntime:
+    def test_if_elif_else(self):
+        p = Pattern("CHAIN")
+        x = p.vertex_prop("x", float)
+        tag = p.vertex_prop("tag", int)
+        a = p.action("classify")
+        v = a.input
+        with a.when(x[v] < 1):
+            a.set(tag[v], 1)
+        with a.elsewhen(x[v] < 2):
+            a.set(tag[v], 2)
+        with a.otherwise():
+            a.set(tag[v], 3)
+        g, _ = build_graph(3, [(0, 1)], n_ranks=1)
+        m = Machine(n_ranks=1)
+        bp = bind(p, m, g)
+        for v_, val in enumerate([0.5, 1.5, 5.0]):
+            bp.map("x")[v_] = val
+        with m.epoch() as ep:
+            for v_ in range(3):
+                bp["classify"].invoke(ep, v_)
+        assert bp.map("tag").to_array().tolist() == [1, 2, 3]
+
+    def test_independent_ifs_both_run(self):
+        """Two 'if' groups: the second runs regardless of the first."""
+        p = Pattern("TWOIF")
+        x = p.vertex_prop("x", float)
+        y = p.vertex_prop("y", float)
+        a = p.action("both")
+        v = a.input
+        with a.when(x[v] < 1):
+            a.set(x[v], 100.0)
+        with a.when(y[v] < 1):
+            a.set(y[v], 200.0)
+        g, _ = build_graph(2, [(0, 1)], n_ranks=1)
+        m = Machine(n_ranks=1)
+        bp = bind(p, m, g)
+        bp.map("x")[0] = 50.0  # first group false
+        with m.epoch() as ep:
+            bp["both"].invoke(ep, 0)
+        assert bp.map("x")[0] == 50.0
+        assert bp.map("y")[0] == 200.0
+
+    def test_set_insert_modification(self):
+        p = Pattern("PREDS")
+        dist = p.vertex_prop("dist", float, default=math.inf)
+        weight = p.edge_prop("weight", float)
+        preds = p.vertex_prop("preds", "set")
+        a = p.action("relax")
+        v = a.input
+        e = a.out_edges()
+        from repro.patterns import src as _src
+
+        nd = a.let("nd", dist[v] + weight[e])
+        with a.when(nd < dist[trg(e)]):
+            a.set(dist[trg(e)], nd)
+            a.insert(preds[trg(e)], _src(e))
+        g, w = build_graph(3, [(0, 1), (0, 2)], weights=[1.0, 2.0], n_ranks=2)
+        m = Machine(n_ranks=2)
+        bp = bind(p, m, g, props={"weight": weight_map_from_array(g, w)})
+        bp.map("dist")[0] = 0.0
+        with m.epoch() as ep:
+            bp["relax"].invoke(ep, 0)
+        assert bp.map("preds")[1] == {0}
+        assert bp.map("preds")[2] == {0}
+
+
+class TestBindOptions:
+    def test_provided_maps_are_adopted(self):
+        g, w = build_graph(2, [(0, 1)], weights=[3.0], n_ranks=1)
+        m = Machine(n_ranks=1)
+        wm = weight_map_from_array(g, w)
+        bp = bind(make_sssp_pattern(), m, g, props={"weight": wm})
+        assert bp.map("weight") is wm
+
+    def test_layers_config(self):
+        g, w = build_graph(2, [(0, 1)], weights=[3.0], n_ranks=1)
+        m = Machine(n_ranks=1)
+        bp = bind(
+            make_sssp_pattern(),
+            m,
+            g,
+            props={"weight": weight_map_from_array(g, w)},
+            layers={"relax": {"coalescing": 16}},
+        )
+        assert len(bp["relax"].mtype.layers) == 1
+
+    def test_describe_bound(self):
+        g, w = build_graph(2, [(0, 1)], weights=[3.0], n_ranks=1)
+        m = Machine(n_ranks=1)
+        bp = bind(make_sssp_pattern(), m, g, props={"weight": weight_map_from_array(g, w)})
+        assert "relax" in bp.describe()
+
+    def test_rank_mismatch_rejected(self):
+        g, _ = build_graph(2, [(0, 1)], n_ranks=2)
+        m = Machine(n_ranks=3)
+        with pytest.raises(ValueError, match="ranks"):
+            bind(make_sssp_pattern(), m, g)

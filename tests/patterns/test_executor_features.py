@@ -1,0 +1,268 @@
+"""Executor coverage of the full expression/modification surface."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.graph import build_graph
+from repro.patterns import Pattern, bind, fn, src, trg
+from repro.props import weight_map_from_array
+
+
+def machine_and_graph(n=6, n_ranks=3, edges=((0, 1), (1, 2), (2, 3))):
+    g, _ = build_graph(n, list(edges), n_ranks=n_ranks)
+    return Machine(n_ranks), g
+
+
+class TestExpressionEvaluation:
+    def test_arithmetic_ops(self):
+        p = Pattern("ARITH")
+        x = p.vertex_prop("x", float)
+        y = p.vertex_prop("y", float)
+        a = p.action("calc")
+        v = a.input
+        with a.when(x[v] > 0):
+            a.set(y[v], (x[v] * 3 - 1) / 2 + (-x[v]))
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        bp.map("x")[1] = 5.0
+        with m.epoch() as ep:
+            bp["calc"].invoke(ep, 1)
+        assert bp.map("y")[1] == pytest.approx((5 * 3 - 1) / 2 - 5)
+
+    def test_whitelisted_functions(self):
+        p = Pattern("FN")
+        x = p.vertex_prop("x", float)
+        y = p.vertex_prop("y", float)
+        lo = p.vertex_prop("lo", float)
+        a = p.action("clamp")
+        v = a.input
+        with a.when(x[v] != 0):
+            a.set(lo[v], fn("min", x[v], y[v]))
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        bp.map("x")[2] = 7.0
+        bp.map("y")[2] = 3.0
+        with m.epoch() as ep:
+            bp["clamp"].invoke(ep, 2)
+        assert bp.map("lo")[2] == 3.0
+
+    def test_bool_composition_and_or_not(self):
+        p = Pattern("BOOL")
+        x = p.vertex_prop("x", float)
+        tag = p.vertex_prop("tag", int)
+        a = p.action("judge")
+        v = a.input
+        cond = ((x[v] > 1).and_(x[v] < 5)).or_((x[v] == 10).not_().and_(x[v] > 100))
+        with a.when(cond):
+            a.set(tag[v], 1)
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        vals = {0: 3.0, 1: 10.0, 2: 200.0, 3: 0.5}
+        for k, val in vals.items():
+            bp.map("x")[k] = val
+        with m.epoch() as ep:
+            for k in vals:
+                bp["judge"].invoke(ep, k)
+        tags = bp.map("tag").to_array()
+        assert tags[0] == 1  # 1 < 3 < 5
+        assert tags[1] == 0  # neither branch
+        assert tags[2] == 1  # not 10 and > 100
+        assert tags[3] == 0
+
+    def test_contains_membership(self):
+        p = Pattern("MEMBER")
+        seen = p.vertex_prop("seen", "set")
+        hits = p.vertex_prop("hits", int)
+        a = p.action("check")
+        v = a.input
+        u = a.adj()
+        with a.when(seen[v].contains(u)):
+            a.add(hits[v], 1)
+        g, _ = build_graph(4, [(0, 1), (0, 2), (0, 3)], n_ranks=2)
+        m = Machine(2)
+        bp = bind(p, m, g)
+        bp.map("seen")[0] = {1, 3}
+        with m.epoch() as ep:
+            bp["check"].invoke(ep, 0)
+        assert bp.map("hits")[0] == 2
+
+    def test_src_function(self):
+        p = Pattern("SRC")
+        mark = p.vertex_prop("mark", "vertex", default=-1)
+        a = p.action("stamp")
+        e = a.out_edges()
+        with a.when(mark[trg(e)] == -1):
+            a.set(mark[trg(e)], src(e))
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        with m.epoch() as ep:
+            bp["stamp"].invoke(ep, 1)
+        assert bp.map("mark")[2] == 1
+
+
+class TestModifications:
+    def test_remove_from_set(self):
+        p = Pattern("REM")
+        pend = p.vertex_prop("pend", "set")
+        flag = p.vertex_prop("flag", int)
+        a = p.action("clear")
+        v = a.input
+        u = a.adj()
+        with a.when(pend[u].contains(v)):
+            a.remove(pend[u], v)
+            a.set(flag[u], 1)
+        g, _ = build_graph(3, [(0, 1)], n_ranks=2)
+        m = Machine(2)
+        bp = bind(p, m, g)
+        bp.map("pend")[1] = {0, 2}
+        with m.epoch() as ep:
+            bp["clear"].invoke(ep, 0)
+        assert bp.map("pend")[1] == {2}
+        assert bp.map("flag")[1] == 1
+
+    def test_modify_method_call_expression(self):
+        p = Pattern("MC")
+        x = p.vertex_prop("x", float)
+        owners = p.vertex_prop("owners", "set")
+        a = p.action("claim")
+        v = a.input
+        e = a.out_edges()
+        with a.when(x[trg(e)] == 0):
+            a.modify(owners[trg(e)].method("insert", src(e)))
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        with m.epoch() as ep:
+            bp["claim"].invoke(ep, 0)
+        assert bp.map("owners")[1] == {0}
+
+    def test_augadd_accumulates_across_senders(self):
+        """add() from many sources accumulates (the degree count)."""
+        p = Pattern("DEG")
+        indeg = p.vertex_prop("indeg", int)
+        one = p.vertex_prop("one", int, default=1)
+        a = p.action("count")
+        v = a.input
+        e = a.out_edges()
+        with a.when(one[v] == 1):
+            a.add(indeg[trg(e)], 1)
+        g, _ = build_graph(4, [(0, 3), (1, 3), (2, 3)], n_ranks=2)
+        m = Machine(2)
+        bp = bind(p, m, g)
+        with m.epoch() as ep:
+            for s_ in range(3):
+                bp["count"].invoke(ep, s_)
+        assert bp.map("indeg")[3] == 3
+
+    def test_insert_multiple_args_forms_tuple(self):
+        p = Pattern("TUP")
+        pairs = p.vertex_prop("pairs", "set")
+        x = p.vertex_prop("x", int, default=1)
+        a = p.action("record")
+        v = a.input
+        e = a.out_edges()
+        with a.when(x[v] == 1):
+            a.insert(pairs[trg(e)], src(e), trg(e))
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        with m.epoch() as ep:
+            bp["record"].invoke(ep, 0)
+        assert bp.map("pairs")[1] == {(0, 1)}
+
+
+class TestSemanticsCorners:
+    def test_else_after_failed_elif_runs(self):
+        p = Pattern("ELSE")
+        x = p.vertex_prop("x", float)
+        tag = p.vertex_prop("tag", int, default=-1)
+        a = p.action("route")
+        v = a.input
+        with a.when(x[v] > 100):
+            a.set(tag[v], 0)
+        with a.elsewhen(x[v] > 50):
+            a.set(tag[v], 1)
+        with a.otherwise():
+            a.set(tag[v], 2)
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        bp.map("x")[0] = 10.0
+        with m.epoch() as ep:
+            bp["route"].invoke(ep, 0)
+        assert bp.map("tag")[0] == 2
+
+    def test_taken_branch_skips_rest_of_group(self):
+        p = Pattern("SKIP")
+        x = p.vertex_prop("x", float)
+        tag = p.vertex_prop("tag", int, default=0)
+        a = p.action("route")
+        v = a.input
+        with a.when(x[v] > 0):
+            a.set(tag[v], 1)
+        with a.elsewhen(x[v] > -100):
+            a.set(tag[v], 2)
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        bp.map("x")[0] = 5.0
+        with m.epoch() as ep:
+            bp["route"].invoke(ep, 0)
+        assert bp.map("tag")[0] == 1
+
+    def test_assign_same_value_counts_assign_not_change(self):
+        p = Pattern("SAME")
+        x = p.vertex_prop("x", float)
+        a = p.action("idem")
+        v = a.input
+        with a.when(x[v] == 0):
+            a.set(x[v], 0.0)  # writes the value it already has
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        with m.epoch() as ep:
+            bp["idem"].invoke(ep, 0)
+        ba = bp["idem"]
+        assert ba.assign_count == 1
+        assert ba.change_count == 0  # no actual change, no dependency fired
+
+    def test_naive_mode_same_results_on_chained_pattern(self):
+        p = Pattern("CHAINMODE")
+        nxt = p.vertex_prop("nxt", "vertex")
+        val = p.vertex_prop("val", float)
+        out = p.vertex_prop("out", float)
+        a = p.action("pull")
+        v = a.input
+        with a.when(val[nxt[nxt[v]]] > out[v]):
+            a.set(out[v], val[nxt[nxt[v]]])
+        results = []
+        for mode in ("optimized", "naive"):
+            g, _ = build_graph(6, [(0, 0)], n_ranks=3)
+            m = Machine(3)
+            bp = bind(p, m, g, mode=mode)
+            for u in range(6):
+                bp.map("nxt")[u] = (u + 2) % 6
+                bp.map("val")[u] = float(u)
+            bp.map("out").fill(-1.0)
+            with m.epoch() as ep:
+                for u in range(6):
+                    bp["pull"].invoke(ep, u)
+            results.append(bp.map("out").to_array().tolist())
+        assert results[0] == results[1]
+
+    def test_work_hook_not_fired_for_nondependent_map(self):
+        """A map that is only written never marks vertices dependent."""
+        p = Pattern("WO")
+        x = p.vertex_prop("x", float)
+        m_out = p.vertex_prop("m_out", float)
+        a = p.action("write_only")
+        v = a.input
+        with a.when(x[v] == 0):
+            a.set(m_out[v], 1.0)
+        m, g = machine_and_graph()
+        bp = bind(p, m, g)
+        fired = []
+        bp["write_only"].work = lambda ctx, w: fired.append(w)
+        with m.epoch() as ep:
+            bp["write_only"].invoke(ep, 0)
+        assert bp.map("m_out")[0] == 1.0
+        assert fired == []
+        assert m.stats.total.work_items == 0

@@ -1,0 +1,166 @@
+"""Expression AST: construction, kinds, keys, restrictions."""
+
+import pytest
+
+from repro.patterns import (
+    Compare,
+    Const,
+    Pattern,
+    PatternTypeError,
+    fn,
+    src,
+    trg,
+)
+from repro.patterns.expr import EDGE, SCALAR, SET, VERTEX, unalias, wrap
+
+
+@pytest.fixture
+def parts():
+    p = Pattern("T")
+    dist = p.vertex_prop("dist", float)
+    weight = p.edge_prop("weight", float)
+    prnt = p.vertex_prop("prnt", "vertex")
+    preds = p.vertex_prop("preds", "set")
+    a = p.action("act")
+    e = a.out_edges()
+    return p, a, a.input, e, dist, weight, prnt, preds
+
+
+class TestKinds:
+    def test_input_is_vertex(self, parts):
+        _, _, v, *_ = parts
+        assert v.kind == VERTEX
+
+    def test_edge_generator_kind(self, parts):
+        _, _, _, e, *_ = parts
+        assert e.kind == EDGE
+
+    def test_trg_src_are_vertices(self, parts):
+        *_, e, _, _, _, _ = parts[:4] + parts[4:]
+        e = parts[3]
+        assert trg(e).kind == VERTEX
+        assert src(e).kind == VERTEX
+
+    def test_scalar_read(self, parts):
+        _, _, v, e, dist, weight, _, _ = parts
+        assert dist[v].kind == SCALAR
+        assert weight[e].kind == SCALAR
+
+    def test_vertex_valued_read(self, parts):
+        _, _, v, _, _, _, prnt, _ = parts
+        assert prnt[v].kind == VERTEX
+        # and it can index another map (chained locality)
+        read = prnt[prnt[v]]
+        assert read.kind == VERTEX
+
+    def test_set_valued_read(self, parts):
+        _, _, v, _, _, _, _, preds = parts
+        assert preds[v].kind == SET
+
+
+class TestRestrictions:
+    def test_trg_of_vertex_rejected(self, parts):
+        _, _, v, *_ = parts
+        with pytest.raises(PatternTypeError, match="edge"):
+            trg(v)
+
+    def test_indexing_with_scalar_rejected(self, parts):
+        _, _, v, _, dist, *_ = parts
+        with pytest.raises(PatternTypeError, match="indexed"):
+            dist[dist[v]]
+
+    def test_vertex_map_indexed_by_edge_rejected(self, parts):
+        _, _, _, e, dist, *_ = parts
+        with pytest.raises(PatternTypeError, match="vertex property"):
+            dist[e]
+
+    def test_edge_map_indexed_by_vertex_rejected(self, parts):
+        _, _, v, _, _, weight, _, _ = parts
+        with pytest.raises(PatternTypeError, match="edge property"):
+            weight[v]
+
+    def test_arbitrary_python_object_rejected(self, parts):
+        _, _, v, _, dist, *_ = parts
+        with pytest.raises(PatternTypeError):
+            dist[v] + [1, 2]
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PatternTypeError, match="whitelist"):
+            fn("sorted", Const(1))
+
+    def test_comparisons_are_not_python_bools(self, parts):
+        _, _, v, _, dist, *_ = parts
+        cmp = dist[v] < 3
+        with pytest.raises(PatternTypeError, match="declarative"):
+            bool(cmp)
+
+    def test_indexing_map_with_plain_int_rejected(self, parts):
+        _, _, _, _, dist, *_ = parts
+        with pytest.raises(PatternTypeError, match="pattern expression"):
+            dist[3]
+
+
+class TestStructure:
+    def test_operator_overloading_builds_tree(self, parts):
+        _, _, v, e, dist, weight, _, _ = parts
+        expr = dist[v] + weight[e] * 2
+        assert expr.pretty() == "(dist[v] + (weight[e] * 2))"
+
+    def test_reflected_operators(self, parts):
+        _, _, v, _, dist, *_ = parts
+        assert (1 + dist[v]).pretty() == "(1 + dist[v])"
+        assert (2 * dist[v]).pretty() == "(2 * dist[v])"
+
+    def test_comparison_builds_compare(self, parts):
+        _, _, v, _, dist, *_ = parts
+        c = dist[v] <= 4
+        assert isinstance(c, Compare)
+        assert c.op == "<="
+
+    def test_structural_keys_equal_for_equal_structure(self, parts):
+        _, _, v, e, dist, weight, _, _ = parts
+        a = dist[trg(e)] + weight[e]
+        b = dist[trg(e)] + weight[e]
+        assert a is not b
+        assert a.key() == b.key()
+
+    def test_keys_differ_for_different_structure(self, parts):
+        _, _, v, e, dist, weight, _, _ = parts
+        assert (dist[v] + weight[e]).key() != (weight[e] + dist[v]).key()
+
+    def test_reads_collects_all_property_reads(self, parts):
+        _, _, v, e, dist, weight, prnt, _ = parts
+        expr = dist[prnt[v]] + weight[e]
+        names = sorted(r.pretty() for r in expr.reads())
+        assert names == ["dist[prnt[v]]", "prnt[v]", "weight[e]"]
+
+    def test_bool_composition(self, parts):
+        _, _, v, _, dist, *_ = parts
+        b = (dist[v] < 3).and_(dist[v] > 1).or_((dist[v] == 0).not_())
+        assert "and" in b.pretty() and "or" in b.pretty() and "not" in b.pretty()
+
+    def test_alias_is_paste_in(self, parts):
+        _, a, v, _, dist, *_ = parts
+        al = a.let("d", dist[v] + 1)
+        assert al.key() == (dist[v] + 1).key()
+        assert al.pretty() == "d"
+        assert unalias(al).pretty() == "(dist[v] + 1)"
+
+    def test_contains_requires_set(self, parts):
+        _, _, v, _, dist, _, _, preds = parts
+        assert preds[v].contains(v).kind == SCALAR
+        with pytest.raises(PatternTypeError, match="set-valued"):
+            dist[v].contains(v)
+
+    def test_wrap_literals(self):
+        assert wrap(3).value == 3
+        assert wrap(None).value is None
+        with pytest.raises(PatternTypeError):
+            wrap(object())
+
+    def test_hash_is_identity(self, parts):
+        """__eq__ builds Compare nodes, so nodes must hash by identity."""
+        _, _, v, _, dist, *_ = parts
+        r = dist[v]
+        d = {r: 1}
+        assert d[r] == 1

@@ -1,0 +1,134 @@
+"""Golden-plan regression tests: the compiled communication of every
+shipped pattern is pinned down (message counts, merge decisions, folds,
+eval sites).  A planner change that alters any of these fails here —
+deliberately, since Figs. 5-6 reproduction depends on exact plan shapes.
+"""
+
+import pytest
+
+from repro.algorithms import (
+    bfs_pattern,
+    bfs_parent_pattern,
+    cc_pattern,
+    pagerank_pattern,
+    sssp_pattern,
+    sssp_predecessors_pattern,
+)
+from repro.algorithms.betweenness import betweenness_pattern
+from repro.algorithms.coloring import coloring_pattern
+from repro.algorithms.kcore import kcore_pattern
+from repro.algorithms.mis import mis_pattern
+from repro.patterns import compile_action
+from repro.strategies import light_heavy_sssp_pattern
+
+
+def plans_of(pattern):
+    return {name: compile_action(a) for name, a in pattern.actions.items()}
+
+
+class TestGoldenSSSP:
+    def test_relax_plan(self):
+        plan = plans_of(sssp_pattern())["relax"]
+        cp = plan.cond_plans[0]
+        assert cp.static_message_count() == 1
+        assert cp.merged
+        assert cp.eval_step().locality.pretty() == "trg(e)"
+        assert [f.pretty() for f in cp.steps[0].folds] == ["(dist[v] + weight[e])"]
+        assert plan.dependent_props == {"dist"}
+
+    def test_predecessor_variant(self):
+        plans = plans_of(sssp_predecessors_pattern())
+        plan = plans["relax"]
+        assert len(plan.cond_plans) == 2
+        assert all(cp.merged for cp in plan.cond_plans)
+        # both conditions evaluate-and-modify at trg(e): 1 hop each
+        assert [cp.static_message_count() for cp in plan.cond_plans] == [1, 1]
+
+    def test_light_heavy_variant(self):
+        plans = plans_of(light_heavy_sssp_pattern(2.0))
+        for name in ("relax_light", "relax_heavy"):
+            cp = plans[name].cond_plans[0]
+            assert cp.static_message_count() == 1
+            assert cp.merged
+
+
+class TestGoldenBFS:
+    def test_hop_plan(self):
+        plan = plans_of(bfs_pattern())["hop"]
+        assert plan.cond_plans[0].static_message_count() == 1
+        assert plan.dependent_props == {"depth"}
+
+    def test_parent_plan(self):
+        plan = plans_of(bfs_parent_pattern())["visit"]
+        cp = plan.cond_plans[0]
+        assert cp.static_message_count() == 1
+        assert cp.merged
+        assert plan.dependent_props == {"parent"}
+
+
+class TestGoldenCC:
+    def test_search_plan(self):
+        plans = plans_of(cc_pattern())
+        search = plans["cc_search"]
+        assert len(search.cond_plans) == 5
+        # claim condition: merged eval at u, one hop
+        claim = search.cond_plans[0]
+        assert claim.merged and claim.static_message_count() == 1
+        assert claim.eval_step().locality.pretty() == "u"
+        # chg min-link conditions: merged at the root (chained locality)
+        for idx in (3, 4):
+            assert search.cond_plans[idx].merged
+        assert search.dependent_props >= {"prnt", "chg"}
+
+    def test_jump_plan(self):
+        plan = plans_of(cc_pattern())["cc_jump"]
+        cp = plan.cond_plans[0]
+        assert cp.static_message_count() == 2  # v -> chg[v] -> back to v
+        assert cp.merged
+        assert cp.eval_step().locality.pretty() == "v"
+
+
+class TestGoldenOthers:
+    def test_pagerank_scatter(self):
+        plan = plans_of(pagerank_pattern())["scatter"]
+        cp = plan.cond_plans[0]
+        assert cp.static_message_count() == 1
+        assert cp.merged  # accumulate at trg(e)
+        # += is a read-modify-write, so the accumulated map is dependent
+        # (the sync driver simply leaves the work hook unset)
+        assert plan.dependent_props == {"acc"}
+
+    def test_betweenness_plans(self):
+        plans = plans_of(betweenness_pattern())
+        expand = plans["expand"]
+        assert len(expand.cond_plans) == 2
+        assert all(cp.merged for cp in expand.cond_plans)
+        assert expand.dependent_props == {"dist", "sigma"}
+        push = plans["push_back"]
+        cp = push.cond_plans[0]
+        # eval at w, then the accumulation hops to the predecessor u
+        assert not cp.merged
+        mod_steps = [s for s in cp.steps if s.kind == "modify"]
+        assert [s.locality.pretty() for s in mod_steps] == ["u"]
+
+    def test_mis_plans(self):
+        plans = plans_of(mis_pattern())
+        assert plans["block"].cond_plans[0].merged
+        assert plans["exclude"].cond_plans[0].merged
+        assert plans["block"].dependent_props == {"blocked"}
+        assert plans["exclude"].dependent_props == {"state"}
+
+    def test_coloring_plans(self):
+        plans = plans_of(coloring_pattern())
+        assert plans["block"].cond_plans[0].static_message_count() == 1
+        report = plans["report"].cond_plans[0]
+        # the generated neighbour (default generator name "u") hosts the
+        # merged evaluate+insert
+        assert report.eval_step().locality.pretty() == "u"
+
+    def test_kcore_plan(self):
+        plan = plans_of(kcore_pattern())["drop"]
+        cp = plan.cond_plans[0]
+        assert cp.merged
+        assert cp.static_message_count() == 1
+        assert plan.dependent_props == {"deg"}  # += reads deg

@@ -1,0 +1,115 @@
+"""Pattern linter: the paper's condition rule plus hygiene checks."""
+
+import pytest
+
+from repro.patterns import (
+    Const,
+    Pattern,
+    PatternValidationError,
+    check_pattern,
+    compile_action,
+    lint_pattern,
+)
+
+from .conftest import make_sssp_pattern
+
+
+def rules_of(issues):
+    return sorted(i.rule for i in issues)
+
+
+class TestConditionRule:
+    def test_constant_condition_is_error(self):
+        p = Pattern("CONST")
+        x = p.vertex_prop("x", float)
+        a = p.action("a")
+        with a.when(Const(1) == Const(1)):
+            a.set(x[a.input], 1.0)
+        issues = lint_pattern(p)
+        assert "condition-no-reads" in rules_of(issues)
+
+    def test_planner_also_rejects(self):
+        p = Pattern("CONST2")
+        x = p.vertex_prop("x", float)
+        a = p.action("a")
+        with a.when(Const(2) > Const(1)):
+            a.set(x[a.input], 1.0)
+        with pytest.raises(PatternValidationError, match="property map"):
+            compile_action(a)
+
+    def test_else_exempt(self):
+        p = Pattern("ELSEOK")
+        x = p.vertex_prop("x", float)
+        a = p.action("a")
+        with a.when(x[a.input] > 0):
+            a.set(x[a.input], 0.0)
+        with a.otherwise():
+            a.set(x[a.input], 1.0)
+        assert "condition-no-reads" not in rules_of(lint_pattern(p))
+
+
+class TestHygieneRules:
+    def test_clean_pattern_has_no_errors(self):
+        warnings = check_pattern(make_sssp_pattern())
+        assert all(w.severity == "warning" for w in warnings)
+
+    def test_unused_property(self):
+        p = Pattern("UNUSED")
+        x = p.vertex_prop("x", float)
+        p.vertex_prop("ghost", float)
+        a = p.action("a")
+        with a.when(x[a.input] > 0):
+            a.set(x[a.input], 0.0)
+        issues = lint_pattern(p)
+        assert "unused-property" in rules_of(issues)
+        assert any("ghost" in i.message for i in issues)
+
+    def test_generator_source_counts_as_used(self):
+        p = Pattern("GENUSE")
+        nbrs = p.vertex_prop("nbrs", "set")
+        x = p.vertex_prop("x", float)
+        a = p.action("a")
+        u = a.generate_from(nbrs[a.input])
+        with a.when(x[u] > 0):
+            a.set(x[u], 0.0)
+        assert "unused-property" not in rules_of(lint_pattern(p))
+
+    def test_self_assignment(self):
+        p = Pattern("SELF")
+        x = p.vertex_prop("x", float)
+        a = p.action("a")
+        with a.when(x[a.input] > 0):
+            a.set(x[a.input], x[a.input])
+        assert "self-assignment" in rules_of(lint_pattern(p))
+
+    def test_write_only_hook_warning(self):
+        p = Pattern("WO")
+        x = p.vertex_prop("x", float)
+        out = p.vertex_prop("out", float)
+        a = p.action("a")
+        with a.when(x[a.input] > 0):
+            a.set(out[a.input], 1.0)
+        issues = lint_pattern(p)
+        assert "write-only-dependent-hook" in rules_of(issues)
+
+    def test_alias_shadow(self):
+        p = Pattern("SHADOW")
+        x = p.vertex_prop("x", float)
+        a = p.action("a")
+        a.let("nd", x[a.input] + 1)
+        a.let("nd", x[a.input] + 2)
+        with a.when(x[a.input] > 0):
+            a.set(x[a.input], 0.0)
+        assert "alias-shadow" in rules_of(lint_pattern(p))
+
+    def test_check_pattern_raises_on_error(self):
+        p = Pattern("RAISES")
+        x = p.vertex_prop("x", float)
+        a = p.action("a")
+        with a.when(Const(True) == Const(True)):
+            a.set(x[a.input], 0.0)
+        with pytest.raises(PatternValidationError, match="lint errors"):
+            check_pattern(p)
+
+    def test_sssp_pattern_is_clean(self):
+        assert lint_pattern(make_sssp_pattern()) == []

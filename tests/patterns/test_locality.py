@@ -1,0 +1,132 @@
+"""Locality analysis (Def. 1) and the dependency/communication tree (Def. 2)."""
+
+import pytest
+
+from repro.patterns import Pattern, src, trg
+from repro.patterns.locality import (
+    LocalityAnalysis,
+    LocalityTree,
+    required_localities,
+)
+
+
+@pytest.fixture
+def setup():
+    p = Pattern("L")
+    dist = p.vertex_prop("dist", float)
+    weight = p.edge_prop("weight", float)
+    prnt = p.vertex_prop("prnt", "vertex")
+    a = p.action("act")
+    e = a.out_edges()
+    return p, a, a.input, e, dist, weight, prnt, LocalityAnalysis(a)
+
+
+class TestDefinition1:
+    def test_input_vertex_locality_is_itself(self, setup):
+        _, _, v, _, _, _, _, an = setup
+        assert an.locality_of_value(v).key() == v.key()
+
+    def test_generated_edge_locality_is_input(self, setup):
+        _, _, v, e, _, _, _, an = setup
+        assert an.locality_of_value(e).key() == v.key()
+
+    def test_vertex_indexed_read_locality_is_index(self, setup):
+        _, _, v, e, dist, _, _, an = setup
+        assert an.locality_of_value(dist[trg(e)]).key() == trg(e).key()
+
+    def test_edge_indexed_read_locality_is_edge_locality(self, setup):
+        """weight[e] is read at v (the edge is stored with its source)."""
+        _, _, v, e, _, weight, _, an = setup
+        assert an.locality_of_value(weight[e]).key() == v.key()
+
+    def test_trg_src_locality_is_edge_locality(self, setup):
+        _, _, v, e, _, _, _, an = setup
+        assert an.locality_of_value(trg(e)).key() == v.key()
+        assert an.locality_of_value(src(e)).key() == v.key()
+
+    def test_chained_read_locality(self, setup):
+        """dist[prnt[v]] is read at prnt[v]; prnt[v] itself at v."""
+        _, _, v, _, dist, _, prnt, an = setup
+        assert an.locality_of_value(dist[prnt[v]]).key() == prnt[v].key()
+        assert an.locality_of_value(prnt[v]).key() == v.key()
+
+    def test_constant_has_no_locality(self, setup):
+        *_, an = setup
+        from repro.patterns import Const
+
+        assert an.locality_of_value(Const(3)) is None
+
+
+class TestDefinition2:
+    def test_root_has_no_parent(self, setup):
+        _, _, v, _, _, _, _, an = setup
+        assert an.parent_locality(v) is None
+
+    def test_trg_parent_is_input(self, setup):
+        _, _, v, e, _, _, _, an = setup
+        assert an.parent_locality(trg(e)).key() == v.key()
+
+    def test_chained_parents(self, setup):
+        _, _, v, _, _, _, prnt, an = setup
+        l1 = prnt[v]
+        l2 = prnt[prnt[v]]
+        assert an.parent_locality(l2).key() == l1.key()
+        assert an.parent_locality(l1).key() == v.key()
+
+
+class TestLocalityTree:
+    def test_single_read_tree(self, setup):
+        _, _, v, e, dist, _, _, an = setup
+        reads = (dist[trg(e)]).reads()
+        tree = LocalityTree(an, required_localities(an, reads))
+        assert tree.root_key == v.key()
+        assert len(tree.nodes) == 2
+
+    def test_chain_tree_depth(self, setup):
+        _, _, v, _, dist, _, prnt, an = setup
+        read = dist[prnt[prnt[v]]]
+        tree = LocalityTree(an, required_localities(an, read.reads()))
+        deepest = prnt[prnt[v]].key()
+        assert tree.depth(deepest) == 2
+
+    def test_dfs_order_root_first(self, setup):
+        _, _, v, e, dist, _, prnt, an = setup
+        reads = (dist[trg(e)] + dist[prnt[v]]).reads()
+        tree = LocalityTree(an, required_localities(an, reads))
+        order = tree.dfs_order()
+        assert order[0] == v.key()
+        assert set(order) == set(tree.nodes)
+
+    def test_euler_walk_backtracks_between_siblings(self, setup):
+        _, _, v, e, dist, _, prnt, an = setup
+        # two sibling subtrees under v: trg(e) and prnt[v]
+        reads = (dist[trg(e)] + dist[prnt[v]]).reads()
+        tree = LocalityTree(an, required_localities(an, reads))
+        walk = tree.euler_walk()
+        # v, child1, v, child2 (no trailing backtrack)
+        assert len(walk) == 4
+        assert walk[0] == v.key() and walk[2] == v.key()
+
+    def test_pretty_marks_required(self, setup):
+        _, _, v, e, dist, _, _, an = setup
+        tree = LocalityTree(an, required_localities(an, dist[trg(e)].reads()))
+        out = tree.pretty()
+        assert "* trg(e)" in out
+
+    def test_empty_reads_tree_is_root_only(self, setup):
+        *_, an = setup
+        tree = LocalityTree(an, [])
+        assert len(tree.nodes) == 1
+
+
+class TestRequiredLocalities:
+    def test_order_of_first_appearance(self, setup):
+        _, _, v, e, dist, weight, _, an = setup
+        reads = (dist[trg(e)] + weight[e] + dist[v]).reads()
+        locs = required_localities(an, reads)
+        assert [l.pretty() for l in locs] == ["trg(e)", "v"]
+
+    def test_deduplicates(self, setup):
+        _, _, v, e, dist, _, _, an = setup
+        reads = (dist[trg(e)] + dist[trg(e)]).reads()
+        assert len(required_localities(an, reads)) == 1

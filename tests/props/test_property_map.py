@@ -1,0 +1,145 @@
+"""Property maps: distribution, locality enforcement, bulk ops."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges
+from repro.props import (
+    EdgePropertyMap,
+    LocalityError,
+    VertexPropertyMap,
+    weight_map_from_array,
+)
+
+
+@pytest.fixture(params=["block", "cyclic", "hash"])
+def graph(request):
+    g, _ = from_edges(
+        6,
+        [0, 0, 1, 2, 4],
+        [1, 2, 3, 3, 5],
+        n_ranks=3,
+        partition=request.param,
+        bidirectional=True,
+    )
+    return g
+
+
+class TestVertexMap:
+    def test_default_fill(self, graph):
+        pm = VertexPropertyMap(graph, "f8", default=math.inf)
+        assert all(pm[v] == math.inf for v in range(6))
+
+    def test_set_get_roundtrip(self, graph):
+        pm = VertexPropertyMap(graph, "i8", default=0)
+        for v in range(6):
+            pm[v] = v * v
+        assert [pm[v] for v in range(6)] == [v * v for v in range(6)]
+
+    def test_to_from_array(self, graph):
+        pm = VertexPropertyMap(graph, "f8", default=0.0)
+        vals = np.arange(6, dtype=np.float64) * 1.5
+        pm.from_array(vals)
+        np.testing.assert_array_equal(pm.to_array(), vals)
+
+    def test_object_dtype_holds_sets(self, graph):
+        pm = VertexPropertyMap(graph, object, default=None)
+        pm[2] = {4, 5}
+        assert pm[2] == {4, 5}
+        assert pm[3] is None
+
+    def test_object_default_not_shared_after_set(self, graph):
+        pm = VertexPropertyMap(graph, object, default=None)
+        pm[0] = [1]
+        pm[1] = [2]
+        assert pm[0] == [1] and pm[1] == [2]
+
+    def test_correct_rank_access_allowed(self, graph):
+        pm = VertexPropertyMap(graph, "f8", default=0.0)
+        owner = graph.owner(3)
+        pm.set(3, 9.0, rank=owner)
+        assert pm.get(3, rank=owner) == 9.0
+
+    def test_wrong_rank_access_rejected(self, graph):
+        pm = VertexPropertyMap(graph, "f8", default=0.0, name="dist")
+        owner = graph.owner(3)
+        wrong = (owner + 1) % graph.n_ranks
+        with pytest.raises(LocalityError, match="dist"):
+            pm.get(3, rank=wrong)
+        with pytest.raises(LocalityError):
+            pm.set(3, 1.0, rank=wrong)
+
+    def test_strict_requires_rank(self, graph):
+        pm = VertexPropertyMap(graph, "f8", strict=True)
+        with pytest.raises(LocalityError, match="strict"):
+            pm.get(2)
+        assert pm.get(2, rank=graph.owner(2)) == 0
+
+    def test_fill(self, graph):
+        pm = VertexPropertyMap(graph, "f8", default=0.0)
+        pm.fill(7.5)
+        assert set(pm.to_array().tolist()) == {7.5}
+
+    def test_len(self, graph):
+        assert len(VertexPropertyMap(graph, "f8")) == 6
+
+
+class TestEdgeMap:
+    def test_default_and_set(self, graph):
+        em = EdgePropertyMap(graph, "f8", default=1.0)
+        assert em[0] == 1.0
+        em[0] = 3.0
+        assert em[0] == 3.0
+
+    def test_to_from_array(self, graph):
+        em = EdgePropertyMap(graph, "f8")
+        vals = np.arange(graph.n_edges, dtype=np.float64)
+        em.from_array(vals)
+        np.testing.assert_array_equal(em.to_array(), vals)
+
+    def test_owner_rank_access(self, graph):
+        em = EdgePropertyMap(graph, "f8", name="w")
+        gid = 0
+        owner = graph.edge_owner(gid)
+        em.set(gid, 4.0, rank=owner)
+        assert em.get(gid, rank=owner) == 4.0
+
+    def test_wrong_rank_write_rejected(self, graph):
+        em = EdgePropertyMap(graph, "f8", name="w")
+        gid = 0
+        owner = graph.edge_owner(gid)
+        wrong = (owner + 1) % graph.n_ranks
+        with pytest.raises(LocalityError):
+            em.set(gid, 1.0, rank=wrong)
+
+    def test_mirror_read_at_target_rank(self, graph):
+        """Bidirectional storage replicates in-edge values at the target."""
+        em = EdgePropertyMap(graph, "f8", name="w")
+        for gid in range(graph.n_edges):
+            trg_rank = graph.owner(graph.trg(gid))
+            # read allowed at target rank regardless of edge owner
+            em.get(gid, rank=trg_rank)
+
+    def test_mirror_read_rejected_without_bidirectional(self):
+        g, _ = from_edges(4, [0, 1], [3, 3], n_ranks=4, bidirectional=False)
+        em = EdgePropertyMap(g, "f8", name="w")
+        gid = 0
+        owner = g.edge_owner(gid)
+        trg_rank = g.owner(g.trg(gid))
+        if owner != trg_rank:
+            with pytest.raises(LocalityError):
+                em.get(gid, rank=trg_rank)
+
+    def test_object_edge_map(self, graph):
+        em = EdgePropertyMap(graph, object, default=())
+        em[1] = ("tag", 3)
+        assert em[1] == ("tag", 3)
+        assert em.to_array()[1] == ("tag", 3)
+
+    def test_weight_map_from_array(self, graph):
+        w = np.linspace(1, 2, graph.n_edges)
+        em = weight_map_from_array(graph, w)
+        np.testing.assert_array_equal(em.to_array(), w)
+        assert em.name == "weight"

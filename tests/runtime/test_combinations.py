@@ -1,0 +1,117 @@
+"""Runtime feature combinations: layers x routing x detectors, and
+failure behavior."""
+
+import pytest
+
+from repro import CachingLayer, CoalescingLayer, Machine
+from repro.runtime import ReductionLayer, min_payload
+
+
+class TestRoutingWithLayers:
+    def test_coalesced_batches_survive_forwarding(self):
+        """Batched envelopes must route hop-by-hop intact."""
+        m = Machine(n_ranks=8, routing="hypercube")
+        got = []
+        m.register(
+            "c",
+            lambda ctx, p: got.append((ctx.rank, p[0])),
+            dest_rank_of=lambda p: p[0] % 8,
+            coalescing=CoalescingLayer(4),
+        )
+
+        def seed(ctx, p):
+            for i in range(32):
+                ctx.send("c", (i,))
+
+        m.register("seed", seed, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("seed", ())
+        assert sorted(x for _, x in got) == list(range(32))
+        assert all(r == x % 8 for r, x in got)
+        assert m.stats.total.forwarded > 0
+
+    def test_reduction_with_routing(self):
+        m = Machine(n_ranks=8, routing="hypercube")
+        got = []
+        m.register(
+            "r",
+            lambda ctx, p: got.append(p),
+            dest_rank_of=lambda p: p[0] % 8,
+            reduction=ReductionLayer(key=lambda p: p[0], combine=min_payload(1)),
+        )
+
+        def seed(ctx, p):
+            for val in (9.0, 3.0, 7.0):
+                ctx.send("r", (5, val))
+
+        m.register("seed", seed, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("seed", ())
+        assert got == [(5, 3.0)]
+
+    @pytest.mark.parametrize("detector", ["safra", "four_counter"])
+    def test_detectors_with_routing(self, detector):
+        """Forwarded hops must not unbalance termination accounting."""
+        m = Machine(n_ranks=8, routing="hypercube", detector=detector)
+        count = [0]
+
+        def relay(ctx, p):
+            count[0] += 1
+            if p[0] > 0:
+                ctx.send("relay", (p[0] - 1,))
+
+        m.register("relay", relay, dest_rank_of=lambda p: p[0] % 8)
+        with m.epoch() as ep:
+            ep.invoke("relay", (30,))
+        assert count[0] == 31
+
+    def test_stacked_layers_with_routing_and_safra(self):
+        m = Machine(n_ranks=4, routing="hypercube", detector="safra")
+        got = []
+        m.register(
+            "x",
+            lambda ctx, p: got.append(p[0]),
+            dest_rank_of=lambda p: p[0] % 4,
+            cache=CachingLayer(),
+            coalescing=CoalescingLayer(8),
+        )
+
+        def seed(ctx, p):
+            for i in list(range(20)) + list(range(20)):  # half duplicates
+                ctx.send("x", (i,))
+
+        m.register("seed", seed, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("seed", ())
+        assert sorted(got) == list(range(20))
+        assert m.stats.by_type["x"].cache_hits == 20
+
+
+class TestHandlerFailures:
+    def test_handler_exception_surfaces_to_driver(self):
+        m = Machine(n_ranks=2)
+
+        def bad(ctx, p):
+            raise RuntimeError("handler exploded")
+
+        m.register("bad", bad, dest_rank_of=lambda p: 0)
+        m.inject("bad", ())
+        with pytest.raises(RuntimeError, match="handler exploded"):
+            m.drain()
+
+    def test_machine_usable_after_handler_failure(self):
+        m = Machine(n_ranks=2)
+        state = {"fail": True}
+
+        def flaky(ctx, p):
+            if state["fail"]:
+                raise RuntimeError("boom")
+
+        m.register("flaky", flaky, dest_rank_of=lambda p: 0)
+        m.inject("flaky", ())
+        with pytest.raises(RuntimeError):
+            m.drain()
+        state["fail"] = False
+        m.inject("flaky", ())
+        m.drain()
+        assert m.transport.quiescent()

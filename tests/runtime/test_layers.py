@@ -1,0 +1,234 @@
+"""Coalescing, caching, and reduction layers (AM++ Sec. IV features)."""
+
+import pytest
+
+from repro import Machine
+from repro.runtime import (
+    CachingLayer,
+    CoalescingLayer,
+    ReductionLayer,
+    max_payload,
+    min_payload,
+    sum_payload,
+)
+
+
+def make_machine(**layer_kw):
+    m = Machine(n_ranks=2)
+    got = []
+    t = m.register(
+        "upd", lambda ctx, p: got.append(p), dest_rank_of=lambda p: p[0] % 2, **layer_kw
+    )
+    return m, t, got
+
+
+class TestCoalescing:
+    def test_buffer_flushes_when_full(self):
+        m, t, got = make_machine(coalescing=CoalescingLayer(3))
+        with m.epoch() as ep:
+            for i in range(3):
+                ep.invoke(t, (0, i))
+            # full buffer flushed eagerly; all three delivered on one flush
+            ep.flush()
+            assert len(got) == 3
+        assert m.stats.by_type["upd"].coalesced_flushes == 1
+        assert m.stats.by_type["upd"].coalesced_items == 3
+
+    def test_partial_buffer_flushed_at_epoch_end(self):
+        m, t, got = make_machine(coalescing=CoalescingLayer(100))
+        with m.epoch() as ep:
+            for i in range(7):
+                ep.invoke(t, (0, i))
+        assert len(got) == 7
+        assert m.stats.by_type["upd"].coalesced_flushes == 1
+
+    def test_buffers_are_per_destination(self):
+        m, t, got = make_machine(coalescing=CoalescingLayer(100))
+        with m.epoch() as ep:
+            ep.invoke(t, (0, "a"))
+            ep.invoke(t, (1, "b"))
+        assert m.stats.by_type["upd"].coalesced_flushes == 2
+        assert len(got) == 2
+
+    def test_one_flush_counts_one_physical_send(self):
+        m, t, got = make_machine(coalescing=CoalescingLayer(10))
+        with m.epoch() as ep:
+            for i in range(10):
+                ep.invoke(t, (0, i))
+        ts = m.stats.by_type["upd"]
+        assert ts.sent_total == 1  # one physical envelope on the wire
+        assert ts.handler_calls == 10  # handler runs once per logical payload
+
+    def test_int_shorthand(self):
+        m = Machine(n_ranks=2)
+        got = []
+        t = m.register(
+            "u", lambda ctx, p: got.append(p), dest_rank_of=lambda p: 0, coalescing=5
+        )
+        assert len(t.layers) == 1
+        with m.epoch() as ep:
+            for i in range(5):
+                ep.invoke(t, (i,))
+        assert len(got) == 5
+
+    def test_invalid_buffer_size(self):
+        with pytest.raises(ValueError, match="buffer_size"):
+            CoalescingLayer(0)
+
+    def test_handler_sends_through_coalescing_terminate(self):
+        """Buffered sends from handlers must still drain at epoch end."""
+        m = Machine(n_ranks=2)
+        got = []
+
+        def h(ctx, p):
+            got.append(p[0])
+            if p[0] < 20:
+                ctx.send("c", (p[0] + 1,))
+
+        m.register("c", h, dest_rank_of=lambda p: p[0] % 2, coalescing=8)
+        with m.epoch() as ep:
+            ep.invoke("c", (0,))
+        assert sorted(got) == list(range(21))
+
+
+class TestCaching:
+    def test_exact_duplicates_suppressed(self):
+        m, t, got = make_machine(cache=CachingLayer())
+        with m.epoch() as ep:
+            for _ in range(5):
+                ep.invoke(t, (0, "same"))
+        assert len(got) == 1
+        assert m.stats.by_type["upd"].cache_hits == 4
+
+    def test_custom_key(self):
+        m, t, got = make_machine(cache=CachingLayer(key=lambda p: p[0]))
+        with m.epoch() as ep:
+            ep.invoke(t, (0, "first"))
+            ep.invoke(t, (0, "second"))  # same key -> dropped
+        assert got == [(0, "first")]
+
+    def test_lru_eviction_allows_resend(self):
+        m, t, got = make_machine(cache=CachingLayer(capacity=2))
+        with m.epoch() as ep:
+            ep.invoke(t, (0, 1))
+            ep.invoke(t, (0, 2))
+            ep.invoke(t, (0, 3))  # evicts key (0,1)
+            ep.invoke(t, (0, 1))  # resent
+        assert len(got) == 4
+
+    def test_admit_predicate_drops(self):
+        m, t, got = make_machine(cache=CachingLayer(admit=lambda p: p[1] < 10))
+        with m.epoch() as ep:
+            ep.invoke(t, (0, 5))
+            ep.invoke(t, (0, 50))
+        assert got == [(0, 5)]
+        assert m.stats.by_type["upd"].cache_hits == 1
+
+    def test_invalidate_allows_resend(self):
+        m, t, got = make_machine(cache=CachingLayer())
+        layer = t.layers[0]
+        with m.epoch() as ep:
+            ep.invoke(t, (0, "x"))
+            ep.flush()
+            layer.invalidate()
+            ep.invoke(t, (0, "x"))
+        assert len(got) == 2
+
+    def test_caches_partitioned_by_src_dest(self):
+        """A payload cached for one destination must not mask another's."""
+        m, t, got = make_machine(cache=CachingLayer(key=lambda p: p[1]))
+        with m.epoch() as ep:
+            ep.invoke(t, (0, "k"))
+            ep.invoke(t, (1, "k"))  # different dest; same key; must pass
+        assert len(got) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            CachingLayer(capacity=0)
+
+
+class TestReduction:
+    def test_min_reduction_collapses_window(self):
+        m, t, got = make_machine(
+            reduction=ReductionLayer(key=lambda p: p[0], combine=min_payload(1))
+        )
+        with m.epoch() as ep:
+            for d in (9.0, 5.0, 7.0, 3.0, 8.0):
+                ep.invoke(t, (0, d))
+        assert got == [(0, 3.0)]
+        assert m.stats.by_type["upd"].reduction_combines == 4
+
+    def test_max_reduction(self):
+        m, t, got = make_machine(
+            reduction=ReductionLayer(key=lambda p: p[0], combine=max_payload(1))
+        )
+        with m.epoch() as ep:
+            for d in (1, 4, 2):
+                ep.invoke(t, (0, d))
+        assert got == [(0, 4)]
+
+    def test_sum_reduction(self):
+        m, t, got = make_machine(
+            reduction=ReductionLayer(key=lambda p: p[0], combine=sum_payload(1))
+        )
+        with m.epoch() as ep:
+            for d in (1.0, 2.0, 3.5):
+                ep.invoke(t, (0, d))
+        assert got == [(0, 6.5)]
+
+    def test_distinct_keys_not_combined(self):
+        m, t, got = make_machine(
+            reduction=ReductionLayer(key=lambda p: p[0], combine=min_payload(1))
+        )
+        with m.epoch() as ep:
+            ep.invoke(t, (0, 9.0))
+            ep.invoke(t, (2, 1.0))  # same dest rank (0), different key
+        assert sorted(got) == [(0, 9.0), (2, 1.0)]
+
+    def test_window_overflow_flushes(self):
+        m, t, got = make_machine(
+            reduction=ReductionLayer(key=lambda p: p[0], combine=min_payload(1), window=2)
+        )
+        with m.epoch() as ep:
+            ep.invoke(t, (0, 1.0))
+            ep.invoke(t, (2, 2.0))  # hits window=2 -> flush
+            ep.flush()
+            assert len(got) == 2
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError, match="window"):
+            ReductionLayer(key=lambda p: p, combine=min_payload(0), window=0)
+
+
+class TestStackedLayers:
+    def test_cache_then_reduce_then_coalesce(self):
+        m = Machine(n_ranks=2)
+        got = []
+        t = m.register(
+            "upd",
+            lambda ctx, p: got.append(p),
+            dest_rank_of=lambda p: p[0] % 2,
+            cache=CachingLayer(),
+            reduction=ReductionLayer(key=lambda p: p[0], combine=min_payload(1)),
+            coalescing=CoalescingLayer(4),
+        )
+        with m.epoch() as ep:
+            for d in (9.0, 5.0, 5.0, 7.0, 3.0):
+                ep.invoke(t, (6, d))
+        assert got == [(6, 3.0)]
+        ts = m.stats.by_type["upd"]
+        assert ts.cache_hits == 1  # duplicate 5.0
+        assert ts.reduction_combines == 3  # 9,5,7,3 -> one survivor
+        assert ts.sent_total == 1
+
+    def test_layer_order_is_fixed(self):
+        m = Machine(n_ranks=2)
+        t = m.register(
+            "x",
+            lambda ctx, p: None,
+            dest_rank_of=lambda p: 0,
+            coalescing=CoalescingLayer(2),
+            cache=CachingLayer(),
+        )
+        names = [type(l).__name__ for l in t.layers]
+        assert names == ["CachingLayer", "CoalescingLayer"]

@@ -1,0 +1,253 @@
+"""Machine facade: registration, addressing, epochs, injection."""
+
+import pytest
+
+from repro import Machine
+from repro.runtime import vertex_at
+
+
+def collector(store):
+    def handler(ctx, payload):
+        store.append((ctx.rank, payload))
+
+    return handler
+
+
+class TestConstruction:
+    def test_default_machine(self):
+        m = Machine()
+        assert m.n_ranks == 4
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError, match="n_ranks"):
+            Machine(n_ranks=0)
+
+    def test_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            Machine(transport="carrier-pigeon")
+
+    def test_rejects_unknown_schedule(self):
+        with pytest.raises(ValueError, match="schedule"):
+            Machine(schedule="alphabetical")
+
+    def test_rejects_unknown_detector(self):
+        with pytest.raises(ValueError, match="detector"):
+            Machine(detector="guesswork")
+
+    def test_context_manager_shuts_down(self):
+        with Machine(n_ranks=2) as m:
+            assert m.n_ranks == 2
+
+
+class TestRegistration:
+    def test_register_assigns_ids_in_order(self):
+        m = Machine(n_ranks=2)
+        a = m.register("a", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        b = m.register("b", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        assert (a.type_id, b.type_id) == (0, 1)
+
+    def test_duplicate_name_rejected(self):
+        m = Machine(n_ranks=2)
+        m.register("dup", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        with pytest.raises(ValueError, match="already registered"):
+            m.register("dup", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+
+    def test_both_addressing_rules_rejected(self):
+        m = Machine(n_ranks=2)
+        with pytest.raises(ValueError, match="at most one"):
+            m.register(
+                "x",
+                lambda ctx, p: None,
+                address_of=lambda p: p[0],
+                dest_rank_of=lambda p: 0,
+            )
+
+    def test_send_by_name(self):
+        m = Machine(n_ranks=2)
+        got = []
+        m.register("byname", collector(got), dest_rank_of=lambda p: 1)
+        with m.epoch() as ep:
+            ep.invoke("byname", (42,))
+        assert got == [(1, (42,))]
+
+
+class TestAddressing:
+    def test_dest_rank_of_routes(self):
+        m = Machine(n_ranks=3)
+        got = []
+        t = m.register("t", collector(got), dest_rank_of=lambda p: p[0] % 3)
+        with m.epoch() as ep:
+            for i in range(6):
+                ep.invoke(t, (i,))
+        assert sorted(got) == sorted((i % 3, (i,)) for i in range(6))
+
+    def test_vertex_addressing_needs_owner_map(self):
+        m = Machine(n_ranks=2)
+        t = m.register("t", lambda ctx, p: None, address_of=vertex_at(0))
+        with pytest.raises(RuntimeError, match="owner map"):
+            m.inject(t, (5,))
+
+    def test_vertex_addressing_with_owner_map(self):
+        m = Machine(n_ranks=4)
+        m.set_owner_map(lambda v: v // 10)
+        got = []
+        t = m.register("t", collector(got), address_of=vertex_at(0))
+        with m.epoch() as ep:
+            ep.invoke(t, (25, "payload"))
+        assert got == [(2, (25, "payload"))]
+
+    def test_owner_map_out_of_range_rejected(self):
+        m = Machine(n_ranks=2)
+        m.set_owner_map(lambda v: 7)
+        t = m.register("t", lambda ctx, p: None, address_of=vertex_at(0))
+        with pytest.raises(ValueError, match="outside"):
+            m.inject(t, (1,))
+
+    def test_explicit_dest_overrides_rule(self):
+        m = Machine(n_ranks=3)
+        got = []
+        t = m.register("t", collector(got), dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke(t, (1,), dest=2)
+        assert got == [(2, (1,))]
+
+    def test_no_rule_no_dest_is_error(self):
+        m = Machine(n_ranks=2)
+        t = m.register("t", lambda ctx, p: None)
+        with pytest.raises(ValueError, match="no addressing rule"):
+            m.inject(t, (1,))
+
+    def test_explicit_dest_out_of_range(self):
+        m = Machine(n_ranks=2)
+        t = m.register("t", lambda ctx, p: None)
+        with pytest.raises(ValueError, match="out of range"):
+            m.inject(t, (1,), dest=5)
+
+
+class TestHandlerSends:
+    """Handlers may send arbitrary further messages (AM++'s key freedom)."""
+
+    def test_handler_chains(self):
+        m = Machine(n_ranks=4)
+        log = []
+
+        def relay(ctx, p):
+            log.append((ctx.rank, p[0]))
+            if p[0] > 0:
+                ctx.send("relay", (p[0] - 1,))
+
+        m.register("relay", relay, dest_rank_of=lambda p: p[0] % 4)
+        with m.epoch() as ep:
+            ep.invoke("relay", (9,))
+        assert [n for _, n in sorted(log, key=lambda x: -x[1])] == list(range(9, -1, -1))
+
+    def test_handler_fanout(self):
+        m = Machine(n_ranks=2)
+        got = []
+
+        def fan(ctx, p):
+            if p[0] == "seed":
+                for i in range(1, 6):
+                    ctx.send("fan", ("leaf", i), dest=i % 2)
+            got.append(p)
+
+        m.register("fan", fan, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("fan", ("seed", 0))
+        assert len(got) == 6
+
+    def test_local_vs_remote_counted(self):
+        m = Machine(n_ranks=2)
+
+        def h(ctx, p):
+            if p[0] == "seed":
+                ctx.send("t", ("local",), dest=ctx.rank)
+                ctx.send("t", ("remote",), dest=1 - ctx.rank)
+
+        m.register("t", h, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("t", ("seed",))
+        ts = m.stats.by_type["t"]
+        # injection = local, one self-send = local, one cross-send = remote
+        assert ts.sent_local == 2
+        assert ts.sent_remote == 1
+
+
+class TestEpochs:
+    def test_epoch_drains_transitive_work(self):
+        m = Machine(n_ranks=2)
+        done = []
+
+        def h(ctx, p):
+            if p[0] < 5:
+                ctx.send("h", (p[0] + 1,))
+            else:
+                done.append(p[0])
+
+        m.register("h", h, dest_rank_of=lambda p: p[0] % 2)
+        with m.epoch() as ep:
+            ep.invoke("h", (0,))
+        assert done == [5]
+        assert m.transport.quiescent()
+
+    def test_epochs_do_not_nest(self):
+        m = Machine(n_ranks=2)
+        with m.epoch():
+            with pytest.raises(RuntimeError, match="nest"):
+                with m.epoch():
+                    pass  # pragma: no cover
+
+    def test_sequential_epochs_each_recorded(self):
+        m = Machine(n_ranks=2)
+        m.register("n", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        for _ in range(3):
+            with m.epoch() as ep:
+                ep.invoke("n", (1,))
+        assert len(m.stats.epochs) == 3
+        assert all(e.handler_calls == 1 for e in m.stats.epochs)
+
+    def test_epoch_flush_performs_work_midway(self):
+        m = Machine(n_ranks=2)
+        seen = []
+        m.register("w", lambda ctx, p: seen.append(p[0]), dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("w", (1,))
+            assert seen == []  # sim performs no work until asked
+            ep.flush()
+            assert seen == [1]  # epoch_flush drained it
+            ep.invoke("w", (2,))
+        assert seen == [1, 2]
+
+    def test_epoch_flush_budget_is_best_effort(self):
+        m = Machine(n_ranks=2)
+        seen = []
+        m.register("w", lambda ctx, p: seen.append(p[0]), dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            for i in range(10):
+                ep.invoke("w", (i,))
+            ran = ep.flush(budget=3)
+            assert ran == 3
+            assert len(seen) == 3
+        assert len(seen) == 10
+
+    def test_try_finish_true_only_when_quiescent(self):
+        m = Machine(n_ranks=2)
+        m.register("w", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            assert ep.try_finish() is True
+            ep.invoke("w", (1,))
+            assert ep.try_finish() is False
+            ep.flush()
+            assert ep.try_finish() is True
+
+    def test_exception_in_epoch_propagates(self):
+        m = Machine(n_ranks=2)
+        with pytest.raises(ValueError, match="boom"):
+            with m.epoch():
+                raise ValueError("boom")
+        # the machine is still usable afterwards
+        got = []
+        m.register("x", collector(got), dest_rank_of=lambda p: 0)
+        m.inject("x", (1,))
+        m.drain()
+        assert got == [(0, (1,))]

@@ -1,0 +1,139 @@
+"""Hypercube (bit-fixing) routing — the Active Pebbles transport feature."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.analysis import MessageTracer
+from repro.algorithms import dijkstra_on_graph, sssp_fixed_point
+from repro.graph import build_graph, erdos_renyi, uniform_weights
+
+
+class TestRoutingBasics:
+    def test_requires_power_of_two_ranks(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            Machine(n_ranks=6, routing="hypercube")
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError, match="routing"):
+            Machine(n_ranks=4, routing="teleport")
+
+    def test_threads_transport_rejects_routing(self):
+        with pytest.raises(ValueError, match="sim transport"):
+            Machine(n_ranks=4, transport="threads", routing="hypercube")
+
+    def test_delivery_correct(self):
+        m = Machine(n_ranks=8, routing="hypercube")
+        got = []
+        m.register(
+            "t", lambda ctx, p: got.append((ctx.rank, p[0])), dest_rank_of=lambda p: p[0]
+        )
+
+        def seed(ctx, p):
+            for d in range(8):
+                ctx.send("t", (d,))
+
+        m.register("seed", seed, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("seed", (0,))
+        assert sorted(got) == [(d, d) for d in range(8)]
+
+    def test_forward_count_matches_hamming_distance(self):
+        """rank 0 -> rank 7 on 8 ranks: 3 differing bits = 2 forwards + 1
+        final delivery."""
+        m = Machine(n_ranks=8, routing="hypercube")
+        got = []
+        m.register("t", lambda ctx, p: got.append(ctx.rank), dest_rank_of=lambda p: 7)
+
+        def seed(ctx, p):
+            ctx.send("t", ())
+
+        m.register("seed", seed, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("seed", ())
+        assert got == [7]
+        assert m.stats.total.forwarded == 2
+
+    def test_local_and_driver_messages_not_routed(self):
+        m = Machine(n_ranks=8, routing="hypercube")
+        m.register("t", lambda ctx, p: None, dest_rank_of=lambda p: 5)
+        m.inject("t", ())  # driver-injected: delivered directly
+        m.drain()
+        assert m.stats.total.forwarded == 0
+
+
+class TestRoutingBoundsConnections:
+    def test_neighbour_set_is_logarithmic(self):
+        """Under hypercube routing, wire traffic only uses hypercube
+        edges: every rank talks to at most log2(p) peers."""
+        n_ranks = 8
+
+        def run(routing):
+            s, t = erdos_renyi(64, 512, seed=21)
+            w = uniform_weights(512, 1, 5, seed=22)
+            g, wg = build_graph(
+                64, list(zip(s, t)), weights=w, n_ranks=n_ranks, partition="cyclic"
+            )
+            m = Machine(n_ranks=n_ranks, routing=routing)
+            tracer = MessageTracer.install(m)
+            d = sssp_fixed_point(m, g, wg, 0)
+            return d, tracer, m
+
+        d_direct, tr_direct, _ = run("direct")
+        d_cube, tr_cube, m_cube = run("hypercube")
+        np.testing.assert_allclose(d_direct, d_cube)
+
+        def max_out_degree(pairs):
+            out = {}
+            for s, dsts in pairs:
+                out.setdefault(s, set()).add(dsts)
+            return max(len(v) for v in out.values())
+
+        assert max_out_degree(tr_direct.rank_pairs(physical=True)) == n_ranks - 1
+        assert max_out_degree(tr_cube.rank_pairs(physical=True)) <= 3  # log2(8)
+        assert m_cube.stats.total.forwarded > 0
+
+
+class TestTracer:
+    def test_events_recorded(self):
+        m = Machine(n_ranks=2)
+        tracer = MessageTracer.install(m)
+        m.register("t", lambda ctx, p: None, dest_rank_of=lambda p: p[0] % 2)
+        with m.epoch() as ep:
+            ep.invoke("t", (0,))
+            ep.invoke("t", (1,))
+        assert tracer.count() == 2
+        assert tracer.count("t") == 2
+        assert tracer.by_type() == {"t": 2}
+
+    def test_remote_only_count(self):
+        m = Machine(n_ranks=2)
+        tracer = MessageTracer.install(m)
+
+        def h(ctx, p):
+            if p[0] == "seed":
+                ctx.send("t", ("hop",), dest=1)
+
+        m.register("t", h, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("t", ("seed",))
+        assert tracer.count(remote_only=True) == 1
+
+    def test_render_log_and_hops(self):
+        m = Machine(n_ranks=2)
+        tracer = MessageTracer.install(m)
+        m.register("t", lambda ctx, p: None, dest_rank_of=lambda p: 1)
+        m.inject("t", (1,))
+        m.drain()
+        assert "driver" in tracer.render_log()
+        assert "t:" in tracer.render_hops("t")
+        assert "(no messages)" in tracer.render_hops("missing")
+
+    def test_clear(self):
+        m = Machine(n_ranks=2)
+        tracer = MessageTracer.install(m)
+        m.register("t", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        m.inject("t", ())
+        m.drain()
+        tracer.clear()
+        assert tracer.count() == 0

@@ -1,0 +1,85 @@
+"""Statistics registry: counters, epochs, reporting."""
+
+from repro import Machine
+from repro.runtime.stats import EpochStats, StatsRegistry, TypeStats
+
+
+class TestTypeStats:
+    def test_totals(self):
+        ts = TypeStats(sent_local=3, sent_remote=4, payload_slots=10)
+        assert ts.sent_total == 7
+        assert ts.approx_bytes == 80
+
+    def test_merge(self):
+        a = TypeStats(sent_local=1, handler_calls=2)
+        b = TypeStats(sent_local=3, handler_calls=5, cache_hits=1)
+        a.merge(b)
+        assert a.sent_local == 4
+        assert a.handler_calls == 7
+        assert a.cache_hits == 1
+
+    def test_snapshot_is_independent(self):
+        a = TypeStats(sent_remote=2)
+        snap = a.snapshot()
+        a.sent_remote = 99
+        assert snap.sent_remote == 2
+
+
+class TestRegistry:
+    def test_duplicate_type_rejected(self):
+        reg = StatsRegistry()
+        reg.register_type("x")
+        try:
+            reg.register_type("x")
+            assert False, "expected ValueError"
+        except ValueError:
+            pass
+
+    def test_epoch_lifecycle(self):
+        reg = StatsRegistry()
+        reg.register_type("t")
+        reg.begin_epoch()
+        reg.count_send("t", remote=True, slots=2)
+        done = reg.end_epoch()
+        assert done.sent_remote == 1
+        assert reg.current_epoch.sent_remote == 0
+        assert reg.total.sent_remote == 1
+
+    def test_summary_keys(self):
+        m = Machine(n_ranks=2)
+        m.register("t", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("t", (1,))
+        s = m.stats.summary()
+        for key in (
+            "sent_local",
+            "sent_remote",
+            "sent_total",
+            "handler_calls",
+            "control_messages",
+            "work_items",
+            "epochs",
+        ):
+            assert key in s
+        assert s["epochs"] == 1
+
+    def test_format_table_contains_types(self):
+        m = Machine(n_ranks=2)
+        m.register("alpha", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        m.register("beta", lambda ctx, p: None, dest_rank_of=lambda p: 1)
+        m.inject("alpha", (1,))
+        m.drain()
+        table = m.stats.format_table()
+        assert "alpha" in table and "beta" in table
+        assert "message type" in table
+
+    def test_per_epoch_isolation(self):
+        m = Machine(n_ranks=2)
+        m.register("t", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        with m.epoch() as ep:
+            ep.invoke("t", (1,))
+        with m.epoch() as ep:
+            ep.invoke("t", (1,))
+            ep.invoke("t", (2,))
+        assert [e.handler_calls for e in m.stats.epochs] == [1, 2]
+        assert m.stats.total.handler_calls == 3

@@ -1,0 +1,134 @@
+"""Termination detection: oracle, Safra token ring, four-counter."""
+
+import pytest
+
+from repro import Machine
+from repro.runtime import FourCounterDetector, OracleDetector, SafraDetector
+
+
+def run_relay(detector_name, n_ranks=4, hops=25):
+    m = Machine(n_ranks=n_ranks, detector=detector_name)
+    log = []
+
+    def relay(ctx, p):
+        log.append(ctx.rank)
+        if p[0] > 0:
+            ctx.send("relay", (p[0] - 1,))
+
+    m.register("relay", relay, dest_rank_of=lambda p: p[0] % n_ranks)
+    with m.epoch() as ep:
+        ep.invoke("relay", (hops,))
+    return m, log
+
+
+class TestOracle:
+    def test_detects_quiescence(self):
+        m, log = run_relay("oracle")
+        assert len(log) == 26
+        assert m.transport.quiescent()
+
+    def test_zero_control_cost(self):
+        m, _ = run_relay("oracle")
+        assert m.stats.total.control_messages == 0
+
+
+class TestSafra:
+    def test_detects_quiescence(self):
+        m, log = run_relay("safra")
+        assert len(log) == 26
+
+    def test_control_messages_counted(self):
+        m, _ = run_relay("safra", n_ranks=4)
+        # at least one full token round of n hops
+        assert m.stats.total.control_messages >= 4
+        # rounds are full rings: control is a multiple of n_ranks
+        assert m.stats.total.control_messages % 4 == 0
+
+    def test_probe_false_while_messages_pending(self):
+        m = Machine(n_ranks=2, detector="safra")
+        m.register("x", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        m.inject("x", (1,))
+        assert m.detector.probe() is False
+        m.drain()
+        assert m.detector.probe() is True
+
+    def test_balances_return_to_zero(self):
+        m, _ = run_relay("safra")
+        assert sum(s.balance for s in m.detector.ranks) == 0
+
+    def test_multiple_epochs(self):
+        m = Machine(n_ranks=3, detector="safra")
+        count = []
+
+        def h(ctx, p):
+            count.append(1)
+            if p[0] > 0:
+                ctx.send("h", (p[0] - 1,))
+
+        m.register("h", h, dest_rank_of=lambda p: p[0] % 3)
+        for _ in range(3):
+            with m.epoch() as ep:
+                ep.invoke("h", (5,))
+        assert len(count) == 18
+        # every epoch recorded its own control cost
+        assert all(e.control_messages > 0 for e in m.stats.epochs)
+
+
+class TestFourCounter:
+    def test_detects_quiescence(self):
+        m, log = run_relay("four_counter")
+        assert len(log) == 26
+
+    def test_two_waves_per_successful_probe(self):
+        m, _ = run_relay("four_counter", n_ranks=4)
+        # a successful probe costs two gather waves of n messages
+        assert m.stats.total.control_messages >= 8
+        assert m.stats.total.control_messages % 4 == 0
+
+    def test_sent_equals_received_at_end(self):
+        m, _ = run_relay("four_counter")
+        assert sum(m.detector.sent) == sum(m.detector.received)
+
+    def test_probe_false_when_pending(self):
+        m = Machine(n_ranks=2, detector="four_counter")
+        m.register("x", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        m.inject("x", (1,))
+        assert m.detector.probe() is False
+
+
+class TestDetectorEquivalence:
+    """All detectors must agree on epoch semantics."""
+
+    @pytest.mark.parametrize("det", ["oracle", "safra", "four_counter"])
+    def test_epoch_completes_all_work(self, det):
+        m = Machine(n_ranks=5, detector=det)
+        done = []
+
+        def fanout(ctx, p):
+            depth = p[0]
+            if depth > 0:
+                ctx.send("f", (depth - 1, 2 * p[1]))
+                ctx.send("f", (depth - 1, 2 * p[1] + 1))
+            else:
+                done.append(p[1])
+
+        m.register("f", fanout, dest_rank_of=lambda p: p[1] % 5)
+        with m.epoch() as ep:
+            ep.invoke("f", (4, 1))
+        assert sorted(done) == list(range(16, 32))
+
+    @pytest.mark.parametrize("det", ["safra", "four_counter"])
+    def test_detector_with_coalescing_buffers(self, det):
+        """Buffered (unsent) items must keep the epoch open until flushed."""
+        m = Machine(n_ranks=3, detector=det)
+        got = []
+        m.register(
+            "c",
+            lambda ctx, p: got.append(p[0]),
+            dest_rank_of=lambda p: p[0] % 3,
+            coalescing=64,
+        )
+        with m.epoch() as ep:
+            for i in range(10):
+                ep.invoke("c", (i,))
+        assert sorted(got) == list(range(10))

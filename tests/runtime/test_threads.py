@@ -1,0 +1,161 @@
+"""ThreadTransport: real-thread execution, SPMD programs, quiescence."""
+
+import threading
+
+import pytest
+
+from repro import Machine
+
+
+@pytest.fixture
+def tm():
+    m = Machine(n_ranks=3, transport="threads")
+    yield m
+    m.shutdown()
+
+
+class TestThreadTransport:
+    def test_simple_delivery(self, tm):
+        got = []
+        lock = threading.Lock()
+
+        def h(ctx, p):
+            with lock:
+                got.append((ctx.rank, p[0]))
+
+        tm.register("t", h, dest_rank_of=lambda p: p[0] % 3)
+        with tm.epoch() as ep:
+            for i in range(30):
+                ep.invoke("t", (i,))
+        assert sorted(got) == sorted((i % 3, i) for i in range(30))
+
+    def test_handler_chains_complete(self, tm):
+        count = [0]
+        lock = threading.Lock()
+
+        def relay(ctx, p):
+            with lock:
+                count[0] += 1
+            if p[0] > 0:
+                ctx.send("relay", (p[0] - 1,))
+
+        tm.register("relay", relay, dest_rank_of=lambda p: p[0] % 3)
+        with tm.epoch() as ep:
+            ep.invoke("relay", (50,))
+        assert count[0] == 51
+
+    def test_quiescent_after_epoch(self, tm):
+        tm.register("n", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+        with tm.epoch() as ep:
+            ep.invoke("n", (1,))
+        assert tm.transport.quiescent()
+
+    def test_coalescing_drains(self, tm):
+        got = []
+        lock = threading.Lock()
+
+        def h(ctx, p):
+            with lock:
+                got.append(p[0])
+
+        tm.register("c", h, dest_rank_of=lambda p: p[0] % 3, coalescing=16)
+        with tm.epoch() as ep:
+            for i in range(40):
+                ep.invoke("c", (i,))
+        assert sorted(got) == list(range(40))
+
+    def test_multiple_workers_per_rank(self):
+        m = Machine(n_ranks=2, transport="threads", threads_per_rank=4)
+        try:
+            hits = []
+            lock = threading.Lock()
+
+            def h(ctx, p):
+                with lock:
+                    hits.append(p[0])
+
+            m.register("w", h, dest_rank_of=lambda p: p[0] % 2)
+            with m.epoch() as ep:
+                for i in range(200):
+                    ep.invoke("w", (i,))
+            assert sorted(hits) == list(range(200))
+        finally:
+            m.shutdown()
+
+    def test_invalid_threads_per_rank(self):
+        with pytest.raises(ValueError, match="threads_per_rank"):
+            Machine(transport="threads", threads_per_rank=0)
+
+
+class TestSpmd:
+    def test_requires_thread_transport(self):
+        m = Machine(n_ranks=2)
+        with pytest.raises(RuntimeError, match="threads"):
+            m.run_spmd(lambda ctx: None)
+
+    def test_per_rank_program(self, tm):
+        acc = []
+        lock = threading.Lock()
+
+        def h(ctx, p):
+            with lock:
+                acc.append((ctx.rank, p[0]))
+
+        tm.register("s", h, dest_rank_of=lambda p: p[0] % 3)
+
+        def program(ctx):
+            with ctx.epoch():
+                ctx.send("s", (ctx.rank * 10,))
+            return ctx.rank * 2
+
+        results = tm.run_spmd(program)
+        assert results == [0, 2, 4]
+        assert sorted(acc) == [(0, 0), (1, 10), (2, 20)]
+
+    def test_epoch_is_a_global_barrier(self, tm):
+        """Work sent inside the epoch is complete for all ranks after it."""
+        hits = []
+        lock = threading.Lock()
+
+        def h(ctx, p):
+            with lock:
+                hits.append(p[0])
+            if p[0] > 0:
+                ctx.send("w", (p[0] - 1,))
+
+        tm.register("w", h, dest_rank_of=lambda p: p[0] % 3)
+        observed_after = []
+
+        def program(ctx):
+            with ctx.epoch():
+                ctx.send("w", (10 + ctx.rank,))
+            with lock:
+                observed_after.append(len(hits))
+
+        tm.run_spmd(program)
+        # every rank observed the full work volume the instant it left the epoch
+        total = sum(10 + r + 1 for r in range(3))
+        assert observed_after == [total, total, total]
+
+    def test_spmd_exception_propagates(self, tm):
+        def program(ctx):
+            if ctx.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+            return ctx.rank
+
+        with pytest.raises(RuntimeError, match="rank 1 exploded"):
+            tm.run_spmd(program)
+
+    def test_try_finish_inside_spmd(self, tm):
+        tm.register("n", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+
+        def program(ctx):
+            with ctx.epoch() as ep:
+                ctx.send("n", (ctx.rank,))
+                ep.flush()
+                return ep.try_finish()
+
+        # try_finish may be False if another rank is mid-send, but after
+        # flush on all ranks it usually settles; at minimum it returns bool
+        results = tm.run_spmd(program)
+        assert all(isinstance(r, bool) for r in results)

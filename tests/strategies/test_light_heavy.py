@@ -1,0 +1,111 @@
+"""Delta-stepping with the light/heavy edge split (paper Sec. II-A)."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import dijkstra_on_graph
+from repro.graph import build_graph, erdos_renyi, grid_2d, uniform_weights
+from repro.strategies import (
+    delta_stepping_light_heavy,
+    light_heavy_sssp_pattern,
+)
+
+
+def er_graph(n=60, deg=5, seed=0, n_ranks=4, w_hi=10.0):
+    s, t = erdos_renyi(n, n * deg, seed=seed)
+    w = uniform_weights(n * deg, 0.5, w_hi, seed=seed + 1)
+    return build_graph(n, list(zip(s.tolist(), t.tolist())), weights=w, n_ranks=n_ranks)
+
+
+class TestPatternShape:
+    def test_two_actions_share_maps(self):
+        p = light_heavy_sssp_pattern(2.0)
+        assert set(p.actions) == {"relax_light", "relax_heavy"}
+        assert set(p.properties) == {"dist", "weight"}
+
+    def test_both_actions_depend_on_dist(self):
+        from repro.patterns import compile_action
+
+        p = light_heavy_sssp_pattern(2.0)
+        for a in p.actions.values():
+            assert compile_action(a).dependent_props == {"dist"}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("delta", [0.75, 2.0, 5.0, 50.0])
+    def test_matches_dijkstra(self, delta):
+        g, wg = er_graph()
+        oracle = dijkstra_on_graph(g, wg, 0)
+        d, info = delta_stepping_light_heavy(Machine(4), g, wg, [0], delta)
+        finite = np.isfinite(oracle)
+        assert np.allclose(d[finite], oracle[finite])
+        assert (np.isinf(d) == np.isinf(oracle)).all()
+
+    def test_grid_graph(self):
+        s, t = grid_2d(8, 8)
+        w = uniform_weights(len(s), 1, 6, seed=3)
+        g, wg = build_graph(
+            64, list(zip(s.tolist(), t.tolist())), weights=w, directed=False, n_ranks=4
+        )
+        oracle = dijkstra_on_graph(g, wg, 0)
+        d, _ = delta_stepping_light_heavy(Machine(4), g, wg, [0], 2.0)
+        assert np.allclose(d, oracle)
+
+    def test_all_heavy_edges(self):
+        """delta below every weight: light actions never fire; heavy-only
+        relaxation still converges (each level settles instantly)."""
+        g, wg = er_graph(w_hi=10.0)
+        wg = np.clip(wg, 5.0, None)
+        oracle = dijkstra_on_graph(g, wg, 0)
+        d, info = delta_stepping_light_heavy(Machine(4), g, wg, [0], 1.0)
+        finite = np.isfinite(oracle)
+        assert np.allclose(d[finite], oracle[finite])
+        assert info["light_changes"] == 0
+
+    def test_all_light_edges(self):
+        """delta above every weight: one level, pure light relaxation."""
+        g, wg = er_graph()
+        oracle = dijkstra_on_graph(g, wg, 0)
+        d, info = delta_stepping_light_heavy(Machine(4), g, wg, [0], 1e9)
+        finite = np.isfinite(oracle)
+        assert np.allclose(d[finite], oracle[finite])
+        assert info["levels"] == 1
+        assert info["heavy_changes"] == 0
+
+
+class TestWorkProfile:
+    def test_heavy_changes_bounded_by_heavy_edges(self):
+        """The split's point: each vertex's heavy edges are swept once
+        when it settles, so heavy improvements are bounded by the number
+        of heavy edges (vs once per tentative improvement without the
+        split)."""
+        g, wg = er_graph(seed=7)
+        delta = 2.0
+        d, info = delta_stepping_light_heavy(Machine(4), g, wg, [0], delta)
+        n_heavy_edges = int((np.asarray(wg) > delta).sum())
+        assert info["heavy_changes"] <= n_heavy_edges
+
+    def test_multi_source(self):
+        g, wg = er_graph(seed=8)
+        d, _ = delta_stepping_light_heavy(Machine(4), g, wg, [0, 7], 2.0)
+        oracle = np.minimum(
+            dijkstra_on_graph(g, wg, 0), dijkstra_on_graph(g, wg, 7)
+        )
+        finite = np.isfinite(oracle)
+        assert np.allclose(d[finite], oracle[finite])
+
+
+class TestRebinding:
+    def test_same_pattern_binds_twice_on_one_machine(self):
+        """Message-type names uniquify, so one machine can host many
+        binds (betweenness does one per source)."""
+        from repro.patterns import bind
+        from tests.patterns.conftest import make_sssp_pattern
+
+        g, wg = er_graph()
+        m = Machine(4)
+        p = make_sssp_pattern()
+        bp1 = bind(p, m, g)
+        bp2 = bind(p, m, g)
+        assert bp1["relax"].mtype.name != bp2["relax"].mtype.name

@@ -1,0 +1,159 @@
+"""Strategies: fixed_point, once, delta-stepping over one shared pattern.
+
+The paper's central claim for strategies is interchangeability: the SSSP
+pattern never changes, only the strategy applied to it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    bind_sssp,
+    dijkstra_on_graph,
+    sssp_delta_stepping,
+    sssp_fixed_point,
+)
+from repro.graph import build_graph, erdos_renyi, grid_2d, uniform_weights
+from repro.strategies import delta_stepping, fixed_point, once
+
+
+def random_graph(n=50, m=220, seed=0, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1, 10, seed=seed + 1)
+    g, wg = build_graph(n, list(zip(s, t)), weights=w, n_ranks=n_ranks)
+    return g, wg
+
+
+class TestFixedPoint:
+    def test_sssp_matches_dijkstra(self):
+        g, wg = random_graph()
+        d = sssp_fixed_point(Machine(4), g, wg, 0)
+        assert np.allclose(d, dijkstra_on_graph(g, wg, 0))
+
+    def test_multiple_sources_union(self):
+        """fixed_point accepts any start container (multi-source SSSP)."""
+        g, wg = random_graph()
+        m = Machine(4)
+        bp = bind_sssp(m, g, wg)
+        dist = bp.map("dist")
+        dist[0] = 0.0
+        dist[7] = 0.0
+        fixed_point(m, bp["relax"], [0, 7])
+        d = dist.to_array()
+        oracle = np.minimum(
+            dijkstra_on_graph(g, wg, 0), dijkstra_on_graph(g, wg, 7)
+        )
+        assert np.allclose(d, oracle)
+
+    def test_empty_vertex_set_is_noop(self):
+        g, wg = random_graph()
+        m = Machine(4)
+        bp = bind_sssp(m, g, wg)
+        fixed_point(m, bp["relax"], [])
+        assert np.isinf(bp.map("dist").to_array()).all()
+
+
+class TestOnce:
+    def test_once_reports_change(self):
+        g, wg = random_graph()
+        m = Machine(4)
+        bp = bind_sssp(m, g, wg)
+        bp.map("dist")[0] = 0.0
+        assert once(m, bp["relax"], [0]) is True
+
+    def test_once_reports_no_change_at_fixed_point(self):
+        g, wg = random_graph()
+        m = Machine(4)
+        bp = bind_sssp(m, g, wg)
+        bp.map("dist")[0] = 0.0
+        fixed_point(m, bp["relax"], [0])
+        assert once(m, bp["relax"], list(range(g.n_vertices))) is False
+
+    def test_once_does_not_chase_dependencies(self):
+        g, wg = build_graph(3, [(0, 1), (1, 2)], weights=[1.0, 1.0], n_ranks=1)[0], None
+        g, wg = build_graph(3, [(0, 1), (1, 2)], weights=[1.0, 1.0], n_ranks=1)
+        m = Machine(1)
+        bp = bind_sssp(m, g, wg)
+        bp.map("dist")[0] = 0.0
+        once(m, bp["relax"], [0])
+        d = bp.map("dist").to_array()
+        assert d[1] == 1.0 and np.isinf(d[2])
+
+    def test_once_iteration_reaches_fixed_point(self):
+        """Repeated once() is Bellman-Ford: n-1 rounds suffice."""
+        g, wg = random_graph(n=30, m=100)
+        m = Machine(4)
+        bp = bind_sssp(m, g, wg)
+        bp.map("dist")[0] = 0.0
+        rounds = 0
+        while once(m, bp["relax"], list(range(30))):
+            rounds += 1
+            assert rounds <= 30
+        assert np.allclose(bp.map("dist").to_array(), dijkstra_on_graph(g, wg, 0))
+
+
+class TestDeltaStepping:
+    @pytest.mark.parametrize("delta", [0.5, 2.0, 5.0, 100.0])
+    def test_matches_dijkstra_for_any_delta(self, delta):
+        g, wg = random_graph()
+        d = sssp_delta_stepping(Machine(4), g, wg, 0, delta)
+        assert np.allclose(d, dijkstra_on_graph(g, wg, 0))
+
+    def test_levels_decrease_with_larger_delta(self):
+        g, wg = random_graph(n=60, m=300, seed=5)
+        m1, m2 = Machine(4), Machine(4)
+        bp1, bp2 = bind_sssp(m1, g, wg), bind_sssp(m2, g, wg)
+        bp1.map("dist")[0] = 0.0
+        bp2.map("dist")[0] = 0.0
+        lv_small = delta_stepping(m1, bp1["relax"], [0], bp1.map("dist"), 1.0)
+        lv_big = delta_stepping(m2, bp2["relax"], [0], bp2.map("dist"), 50.0)
+        assert lv_big < lv_small
+
+    def test_huge_delta_degenerates_to_single_level(self):
+        """delta >= max distance => everything in bucket 0 (the paper's
+        fixed-point algorithm, modulo ordering)."""
+        g, wg = random_graph()
+        m = Machine(4)
+        bp = bind_sssp(m, g, wg)
+        bp.map("dist")[0] = 0.0
+        levels = delta_stepping(m, bp["relax"], [0], bp.map("dist"), 1e9)
+        assert levels == 1
+
+    def test_grid_graph(self):
+        s, t = grid_2d(6, 6)
+        w = uniform_weights(len(s), 1, 4, seed=2)
+        g, wg = build_graph(36, list(zip(s, t)), weights=w, directed=False, n_ranks=4)
+        d = sssp_delta_stepping(Machine(4), g, wg, 0, 2.0)
+        assert np.allclose(d, dijkstra_on_graph(g, wg, 0))
+
+
+class TestStrategySwap:
+    """One pattern, three strategies, identical results (paper Sec. II)."""
+
+    def test_all_strategies_agree(self):
+        g, wg = random_graph(n=70, m=350, seed=9)
+        oracle = dijkstra_on_graph(g, wg, 3)
+        d_fp = sssp_fixed_point(Machine(4), g, wg, 3)
+        d_delta = sssp_delta_stepping(Machine(4), g, wg, 3, 4.0)
+        m = Machine(4)
+        bp = bind_sssp(m, g, wg)
+        bp.map("dist")[3] = 0.0
+        while once(m, bp["relax"], list(range(70))):
+            pass
+        d_once = bp.map("dist").to_array()
+        for d in (d_fp, d_delta, d_once):
+            assert np.allclose(d, oracle)
+
+    def test_work_counts_differ_between_strategies(self):
+        """Strategies trade scheduling for work: Delta-stepping with a
+        good delta performs no more relax handler calls than fixed-point
+        with an adversarial (LIFO) schedule."""
+        g, wg = random_graph(n=80, m=400, seed=11)
+        m_fp = Machine(4, schedule="lifo")
+        sssp_fixed_point(m_fp, g, wg, 0)
+        fp_handlers = m_fp.stats.total.handler_calls
+        m_d = Machine(4, schedule="lifo")
+        sssp_delta_stepping(m_d, g, wg, 0, 2.0)
+        d_handlers = m_d.stats.total.handler_calls
+        assert d_handlers <= fp_handlers * 1.5  # sane band, not a fluke

@@ -1,0 +1,92 @@
+"""CLI: every subcommand runs and prints sane output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestCommands:
+    def test_sssp_fixed_point(self, capsys):
+        assert main(["sssp", "--n", "60", "--m", "200", "--ranks", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sssp-fixed-point" in out
+        assert "reachable" in out
+
+    def test_sssp_delta(self, capsys):
+        assert main(["sssp", "--n", "60", "--m", "200", "--delta", "2.5"]) == 0
+        assert "sssp-delta(2.5)" in capsys.readouterr().out
+
+    def test_sssp_rmat_auto_source(self, capsys):
+        assert (
+            main(["sssp", "--generator", "rmat", "--scale", "6", "--auto-source"])
+            == 0
+        )
+        assert "reachable" in capsys.readouterr().out
+
+    def test_bfs(self, capsys):
+        assert main(["bfs", "--n", "50", "--m", "150"]) == 0
+        assert "bfs:" in capsys.readouterr().out
+
+    def test_cc(self, capsys):
+        assert main(["cc", "--n", "80", "--m", "100", "--flush-budget", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "components" in out
+        assert "collisions" in out
+
+    def test_pagerank(self, capsys):
+        assert main(["pagerank", "--n", "40", "--m", "160", "--iterations", "5"]) == 0
+        assert "top-5" in capsys.readouterr().out
+
+    def test_plan_all_patterns(self, capsys):
+        for pat in ("sssp", "cc", "bfs", "pagerank"):
+            assert main(["plan", "--pattern", pat]) == 0
+            out = capsys.readouterr().out
+            assert "plan for" in out
+
+    def test_plan_naive_mode(self, capsys):
+        assert main(["plan", "--pattern", "sssp", "--mode", "naive"]) == 0
+        assert "[naive]" in capsys.readouterr().out
+
+    def test_generators(self, capsys):
+        for gen_args in (
+            ["--generator", "watts_strogatz", "--n", "40", "--k", "4"],
+            ["--generator", "barabasi_albert", "--n", "40", "--m-attach", "2"],
+            ["--generator", "grid", "--rows", "6", "--cols", "6"],
+        ):
+            assert main(["bfs", *gen_args]) == 0
+            capsys.readouterr()
+
+    def test_machine_options(self, capsys):
+        assert (
+            main(
+                [
+                    "sssp",
+                    "--n",
+                    "40",
+                    "--m",
+                    "120",
+                    "--ranks",
+                    "8",
+                    "--schedule",
+                    "random",
+                    "--detector",
+                    "safra",
+                    "--routing",
+                    "hypercube",
+                    "--partition",
+                    "cyclic",
+                ]
+            )
+            == 0
+        )
+        assert "reachable" in capsys.readouterr().out

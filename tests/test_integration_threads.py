@@ -1,0 +1,116 @@
+"""Integration: patterns executing on real threads (paper Sec. IV-B).
+
+With ``threads_per_rank > 1`` two handlers on the same rank run
+concurrently, so the executor's lock-map protection of evaluate/modify
+steps is load-bearing: these tests run the full SSSP/CC pipelines under
+that regime and require oracle-exact results.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import (
+    bind_sssp,
+    cc_label_propagation,
+    connected_components,
+    dijkstra_on_graph,
+)
+from repro.analysis import distances_match
+from repro.baselines import same_partition, union_find_cc
+from repro.graph import build_graph, erdos_renyi, uniform_weights
+from repro.props import LockMap
+from repro.strategies import fixed_point
+
+
+def er_graph(n=60, m=240, seed=0, n_ranks=3):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1, 10, seed=seed + 1)
+    return build_graph(n, list(zip(s, t)), weights=w, n_ranks=n_ranks)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_sssp_on_threads(workers):
+    g, wg = er_graph()
+    oracle = dijkstra_on_graph(g, wg, 0)
+    m = Machine(3, transport="threads", threads_per_rank=workers)
+    try:
+        bp = bind_sssp(m, g, wg)
+        bp.map("dist")[0] = 0.0
+        fixed_point(m, bp["relax"], [0])
+        d = bp.map("dist").to_array()
+    finally:
+        m.shutdown()
+    assert distances_match(d, oracle)
+
+
+@pytest.mark.parametrize("block_size", [1, 8, 64])
+def test_sssp_lockmap_granularities(block_size):
+    """The paper's lock-map parameterization: per-vertex vs per-block
+    locks, identical results either way."""
+    g, wg = er_graph(seed=3)
+    oracle = dijkstra_on_graph(g, wg, 0)
+    m = Machine(3, transport="threads", threads_per_rank=3)
+    try:
+        lm = LockMap.per_block(g.n_vertices, block_size)
+        bp = bind_sssp(m, g, wg)
+        bp_lock = bp  # bind() created a default lock map; install ours
+        bp_lock.lockmap = lm
+        bp.map("dist")[0] = 0.0
+        fixed_point(m, bp["relax"], [0])
+        d = bp.map("dist").to_array()
+    finally:
+        m.shutdown()
+    assert distances_match(d, oracle)
+
+
+def test_cc_on_threads():
+    s, t = erdos_renyi(40, 50, seed=4)
+    edges = list(zip(s.tolist(), t.tolist()))
+    g, _ = build_graph(40, edges, directed=False, n_ranks=3)
+    oracle = union_find_cc(
+        40, np.concatenate([s, t]), np.concatenate([t, s])
+    )
+    m = Machine(3, transport="threads", threads_per_rank=2)
+    try:
+        comp = connected_components(m, g, flush_budget=4)
+    finally:
+        m.shutdown()
+    assert same_partition(comp, oracle)
+
+
+def test_label_propagation_on_threads_repeated():
+    """Run several times: thread interleavings vary, results must not."""
+    s, t = erdos_renyi(30, 40, seed=5)
+    edges = list(zip(s.tolist(), t.tolist()))
+    g, _ = build_graph(30, edges, directed=False, n_ranks=2)
+    results = []
+    for _ in range(3):
+        m = Machine(2, transport="threads", threads_per_rank=3)
+        try:
+            results.append(tuple(cc_label_propagation(m, g).tolist()))
+        finally:
+            m.shutdown()
+    assert len(set(results)) == 1
+
+
+def test_epoch_flush_and_try_finish_on_threads():
+    g, wg = er_graph(seed=6)
+    m = Machine(3, transport="threads")
+    try:
+        bp = bind_sssp(m, g, wg)
+        bp.map("dist")[0] = 0.0
+        relax = bp["relax"]
+        relax.work = lambda ctx, w: relax.invoke_from(ctx, w)
+        with m.epoch() as ep:
+            relax.invoke(ep, 0)
+            ep.flush()
+            # after a full flush the system may or may not be quiescent
+            # (worker timing), but try_finish must return a bool and the
+            # epoch exit must still guarantee completion
+            assert isinstance(ep.try_finish(), bool)
+        assert distances_match(
+            bp.map("dist").to_array(), dijkstra_on_graph(g, wg, 0)
+        )
+    finally:
+        m.shutdown()

@@ -1,0 +1,120 @@
+"""Property-based tests: algorithm correctness on random graphs under
+random distributions and schedules.
+
+These are the core end-to-end invariants: whatever the graph, partition,
+rank count, and message schedule, the pattern-compiled distributed
+algorithms agree with sequential oracles.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine
+from repro.algorithms import (
+    bfs_fixed_point,
+    bfs_reference,
+    connected_components,
+    dijkstra_on_graph,
+    sssp_delta_stepping,
+    sssp_fixed_point,
+)
+from repro.analysis import distances_match
+from repro.baselines import same_partition, union_find_cc
+from repro.graph import build_graph
+
+
+@st.composite
+def weighted_graphs(draw, max_n=24, max_m=60):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(1, max_m))
+    edges = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(m)
+    ]
+    weights = [
+        draw(st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False))
+        for _ in range(m)
+    ]
+    return n, edges, weights
+
+
+machines = st.builds(
+    dict,
+    n_ranks=st.integers(1, 6),
+    schedule=st.sampled_from(["round_robin", "random", "fifo", "lifo"]),
+    seed=st.integers(0, 1000),
+)
+
+
+class TestSSSPProperties:
+    @given(data=weighted_graphs(), mach=machines, source=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_point_equals_dijkstra(self, data, mach, source):
+        n, edges, weights = data
+        source = source % n
+        g, wg = build_graph(n, edges, weights=weights, n_ranks=mach["n_ranks"])
+        d = sssp_fixed_point(Machine(**mach), g, wg, source)
+        assert distances_match(d, dijkstra_on_graph(g, wg, source))
+
+    @given(
+        data=weighted_graphs(),
+        mach=machines,
+        delta=st.floats(0.1, 100.0, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_delta_stepping_equals_dijkstra(self, data, mach, delta):
+        n, edges, weights = data
+        g, wg = build_graph(n, edges, weights=weights, n_ranks=mach["n_ranks"])
+        d = sssp_delta_stepping(Machine(**mach), g, wg, 0, delta)
+        assert distances_match(d, dijkstra_on_graph(g, wg, 0))
+
+    @given(data=weighted_graphs(), mach=machines)
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality_on_edges(self, data, mach):
+        """The SSSP invariant itself: dist[trg] <= dist[src] + w."""
+        n, edges, weights = data
+        g, wg = build_graph(n, edges, weights=weights, n_ranks=mach["n_ranks"])
+        d = sssp_fixed_point(Machine(**mach), g, wg, 0)
+        for gid, s, t in g.edges():
+            if np.isfinite(d[s]):
+                assert d[t] <= d[s] + wg[gid] + 1e-9
+
+
+class TestBFSProperties:
+    @given(data=weighted_graphs(max_m=40), mach=machines)
+    @settings(max_examples=30, deadline=None)
+    def test_bfs_equals_reference(self, data, mach):
+        n, edges, _ = data
+        g, _ = build_graph(n, edges, n_ranks=mach["n_ranks"])
+        d = bfs_fixed_point(Machine(**mach), g, 0)
+        src = [e[0] for e in edges]
+        trg = [e[1] for e in edges]
+        assert distances_match(d, bfs_reference(n, src, trg, 0))
+
+
+class TestCCProperties:
+    @given(
+        data=weighted_graphs(max_n=18, max_m=30),
+        mach=machines,
+        budget=st.sampled_from([None, 1, 3]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_components_equal_union_find(self, data, mach, budget):
+        n, edges, _ = data
+        g, _ = build_graph(n, edges, directed=False, n_ranks=mach["n_ranks"])
+        comp = connected_components(Machine(**mach), g, flush_budget=budget)
+        src = [e[0] for e in edges]
+        trg = [e[1] for e in edges]
+        oracle = union_find_cc(n, src + trg, trg + src)
+        assert same_partition(comp, oracle)
+
+    @given(data=weighted_graphs(max_n=18, max_m=30), mach=machines)
+    @settings(max_examples=20, deadline=None)
+    def test_labels_constant_within_component(self, data, mach):
+        n, edges, _ = data
+        g, _ = build_graph(n, edges, directed=False, n_ranks=mach["n_ranks"])
+        comp = connected_components(Machine(**mach), g)
+        # the CC invariant: adjacent vertices share a label
+        for _gid, s, t in g.edges():
+            assert comp[s] == comp[t]

@@ -1,0 +1,96 @@
+"""Property-based tests (hypothesis): graph substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import build_graph, from_edges, make_partition
+
+partitions = st.sampled_from(["block", "cyclic", "hash"])
+
+
+@st.composite
+def edge_lists(draw, max_n=40, max_m=120):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(0, max_m))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    trg = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return n, src, trg
+
+
+class TestPartitionProperties:
+    @given(
+        kind=partitions,
+        n=st.integers(0, 200),
+        p=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_owner_localindex_toglobal_roundtrip(self, kind, n, p):
+        part = make_partition(kind, n, p)
+        for v in range(n):
+            r = part.owner(v)
+            assert part.to_global(r, part.local_index(v)) == v
+
+    @given(kind=partitions, n=st.integers(0, 200), p=st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_sizes_partition_n(self, kind, n, p):
+        part = make_partition(kind, n, p)
+        assert sum(part.rank_size(r) for r in range(p)) == n
+        all_locals = [
+            v for r in range(p) for v in part.local_vertices(r).tolist()
+        ]
+        assert sorted(all_locals) == list(range(n))
+
+
+class TestGraphProperties:
+    @given(data=edge_lists(), kind=partitions, p=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_arc_multiset_preserved(self, data, kind, p):
+        """Building a distributed graph never loses, duplicates, or
+        reorders endpoints of arcs, under any distribution."""
+        n, src, trg = data
+        g, gids = from_edges(n, src, trg, n_ranks=p, partition=kind)
+        rebuilt = sorted((g.src(int(e)), g.trg(int(e))) for e in gids)
+        assert rebuilt == sorted(zip(src, trg))
+        assert g.n_edges == len(src)
+
+    @given(data=edge_lists(), p=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_gids_bijective(self, data, p):
+        n, src, trg = data
+        g, gids = from_edges(n, src, trg, n_ranks=p)
+        assert len(set(gids.tolist())) == len(src)
+        if len(src):
+            assert gids.min() == 0 and gids.max() == len(src) - 1
+
+    @given(data=edge_lists(), p=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_out_degrees_sum_to_m(self, data, p):
+        n, src, trg = data
+        g, _ = from_edges(n, src, trg, n_ranks=p)
+        assert sum(g.out_degree(v) for v in range(n)) == len(src)
+
+    @given(data=edge_lists(), p=st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_in_out_duality(self, data, p):
+        n, src, trg = data
+        g, _ = from_edges(n, src, trg, n_ranks=p, bidirectional=True)
+        out_arcs = sorted((s, t) for _g, s, t in g.edges())
+        in_arcs = sorted(
+            (int(s), v) for v in range(n) for s in g.in_edges(v)[1]
+        )
+        assert in_arcs == out_arcs
+
+    @given(data=edge_lists(max_n=20, max_m=50))
+    @settings(max_examples=40, deadline=None)
+    def test_undirected_build_symmetric(self, data):
+        n, src, trg = data
+        g, _ = build_graph(n, list(zip(src, trg)), directed=False, n_ranks=3)
+        arcs = set()
+        for _gid, s, t in g.edges():
+            arcs.add((s, t))
+        assert all((t, s) in arcs for (s, t) in arcs)

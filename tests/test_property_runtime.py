@@ -1,0 +1,176 @@
+"""Property-based tests: runtime invariants (delivery, layers, buckets,
+termination)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CachingLayer, CoalescingLayer, Machine, ReductionLayer
+from repro.runtime import min_payload
+from repro.strategies import Buckets
+
+
+class TestDeliveryProperties:
+    @given(
+        payloads=st.lists(st.integers(0, 100), max_size=60),
+        n_ranks=st.integers(1, 6),
+        schedule=st.sampled_from(["round_robin", "random", "fifo", "lifo"]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_send_delivered_exactly_once(
+        self, payloads, n_ranks, schedule, seed
+    ):
+        m = Machine(n_ranks=n_ranks, schedule=schedule, seed=seed)
+        got = []
+        m.register(
+            "t", lambda ctx, p: got.append(p[0]), dest_rank_of=lambda p: p[0] % n_ranks
+        )
+        with m.epoch() as ep:
+            for x in payloads:
+                ep.invoke("t", (x,))
+        assert Counter(got) == Counter(payloads)
+        assert m.transport.quiescent()
+
+    @given(
+        payloads=st.lists(st.integers(0, 100), max_size=60),
+        buffer_size=st.integers(1, 50),
+        n_ranks=st.integers(1, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_coalescing_preserves_delivery_multiset(
+        self, payloads, buffer_size, n_ranks
+    ):
+        m = Machine(n_ranks=n_ranks)
+        got = []
+        m.register(
+            "t",
+            lambda ctx, p: got.append(p[0]),
+            dest_rank_of=lambda p: p[0] % n_ranks,
+            coalescing=CoalescingLayer(buffer_size),
+        )
+        with m.epoch() as ep:
+            for x in payloads:
+                ep.invoke("t", (x,))
+        assert Counter(got) == Counter(payloads)
+
+    @given(
+        payloads=st.lists(st.integers(0, 20), max_size=60),
+        capacity=st.integers(1, 100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_caching_delivers_set_cover(self, payloads, capacity):
+        """With a duplicate cache, every *distinct* payload is delivered
+        at least once and nothing not sent is delivered."""
+        m = Machine(n_ranks=2)
+        got = []
+        m.register(
+            "t",
+            lambda ctx, p: got.append(p[0]),
+            dest_rank_of=lambda p: p[0] % 2,
+            cache=CachingLayer(capacity=capacity),
+        )
+        with m.epoch() as ep:
+            for x in payloads:
+                ep.invoke("t", (x,))
+        assert set(got) == set(payloads)
+        assert len(got) <= len(payloads)
+
+    @given(
+        updates=st.lists(
+            st.tuples(st.integers(0, 5), st.floats(0, 100, allow_nan=False)),
+            min_size=1,
+            max_size=60,
+        ),
+        window=st.integers(1, 64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reduction_delivers_per_key_minimum(self, updates, window):
+        """A min-reduction must deliver, for every key, a subsequence of
+        sent values that includes the global minimum."""
+        m = Machine(n_ranks=2)
+        got = {}
+        m.register(
+            "t",
+            lambda ctx, p: got.setdefault(p[0], []).append(p[1]),
+            dest_rank_of=lambda p: p[0] % 2,
+            reduction=ReductionLayer(
+                key=lambda p: p[0], combine=min_payload(1), window=window
+            ),
+        )
+        with m.epoch() as ep:
+            for k, val in updates:
+                ep.invoke("t", (k, val))
+        sent = {}
+        for k, val in updates:
+            sent.setdefault(k, []).append(val)
+        for k, vals in sent.items():
+            assert min(got[k]) == min(vals)
+            assert set(got[k]) <= set(vals)
+
+
+class TestDetectorProperties:
+    @given(
+        hops=st.integers(0, 40),
+        n_ranks=st.integers(2, 6),
+        detector=st.sampled_from(["oracle", "safra", "four_counter"]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_epoch_always_terminates_and_balances(self, hops, n_ranks, detector):
+        m = Machine(n_ranks=n_ranks, detector=detector)
+        count = [0]
+
+        def relay(ctx, p):
+            count[0] += 1
+            if p[0] > 0:
+                ctx.send("relay", (p[0] - 1,))
+
+        m.register("relay", relay, dest_rank_of=lambda p: p[0] % n_ranks)
+        with m.epoch() as ep:
+            ep.invoke("relay", (hops,))
+        assert count[0] == hops + 1
+        if detector == "safra":
+            assert sum(s.balance for s in m.detector.ranks) == 0
+        if detector == "four_counter":
+            assert sum(m.detector.sent) == sum(m.detector.received)
+
+
+class TestBucketProperties:
+    @given(
+        inserts=st.lists(
+            st.tuples(st.integers(0, 50), st.floats(0, 100, allow_nan=False)),
+            max_size=80,
+        ),
+        delta=st.floats(0.5, 20.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_drain_everything_in_level_order(self, inserts, delta):
+        b = Buckets(delta)
+        for v, x in inserts:
+            b.insert(v, x)
+        drained = []
+        levels = []
+        i = b.next_nonempty(0)
+        while i is not None:
+            levels.append(i)
+            drained.extend(b.drain(i))
+            i = b.next_nonempty(i + 1)
+        assert sorted(drained) == sorted(v for v, _ in inserts)
+        assert levels == sorted(levels)
+        assert b.empty()
+
+    @given(
+        inserts=st.lists(
+            st.tuples(st.integers(0, 50), st.floats(0, 100, allow_nan=False)),
+            max_size=80,
+        ),
+        delta=st.floats(0.5, 20.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bucket_index_bounds_priority(self, inserts, delta):
+        b = Buckets(delta)
+        for v, x in inserts:
+            i = b.insert(v, x)
+            assert i * delta <= x
+            assert x < (i + 1) * delta + 1e-6

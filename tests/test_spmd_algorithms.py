@@ -1,0 +1,72 @@
+"""SPMD algorithm variants on real threads, plus misc top-level checks."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Machine
+from repro.algorithms import bfs_reference, bfs_spmd
+from repro.analysis import MessageTracer, distances_match
+from repro.graph import build_graph, erdos_renyi
+
+
+class TestSpmdBFS:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_matches_reference(self, seed):
+        s, t = erdos_renyi(40, 150, seed=seed)
+        g, _ = build_graph(40, list(zip(s.tolist(), t.tolist())), n_ranks=3)
+        m = Machine(3, transport="threads")
+        try:
+            d = bfs_spmd(m, g, 0)
+        finally:
+            m.shutdown()
+        assert distances_match(d, bfs_reference(40, s, t, 0))
+
+    def test_single_rank(self):
+        s, t = erdos_renyi(20, 60, seed=2)
+        g, _ = build_graph(20, list(zip(s.tolist(), t.tolist())), n_ranks=1)
+        m = Machine(1, transport="threads")
+        try:
+            d = bfs_spmd(m, g, 0)
+        finally:
+            m.shutdown()
+        assert distances_match(d, bfs_reference(20, s, t, 0))
+
+    def test_disconnected_source_component(self):
+        g, _ = build_graph(6, [(0, 1), (3, 4)], n_ranks=2)
+        m = Machine(2, transport="threads")
+        try:
+            d = bfs_spmd(m, g, 0)
+        finally:
+            m.shutdown()
+        assert d[1] == 1.0
+        assert np.isinf(d[3]) and np.isinf(d[4])
+
+
+class TestTopLevelExports:
+    def test_lazy_exports_resolve(self):
+        assert repro.Pattern.__name__ == "Pattern"
+        assert callable(repro.bind)
+        assert callable(repro.trg)
+        assert callable(repro.build_graph)
+        assert repro.LockMap.__name__ == "LockMap"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+
+class TestTracerVsStats:
+    def test_tracer_counts_match_stats(self):
+        s, t = erdos_renyi(40, 120, seed=5)
+        g, _ = build_graph(40, list(zip(s.tolist(), t.tolist())), n_ranks=4)
+        m = Machine(4)
+        tracer = MessageTracer.install(m)
+        from repro.algorithms import bfs_fixed_point
+
+        bfs_fixed_point(m, g, 0)
+        st = m.stats.summary()
+        # one trace event per wire envelope; without coalescing every send
+        # is its own envelope
+        assert tracer.count() == st["sent_total"]
+        assert tracer.count(remote_only=True) == st["sent_remote"]
