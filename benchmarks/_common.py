@@ -10,6 +10,7 @@ output capturing.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import numpy as np
@@ -26,6 +27,19 @@ def write_result(name: str, title: str, body: str) -> Path:
     text = f"== {title} ==\n{body.rstrip()}\n"
     path.write_text(text)
     print("\n" + text)
+    return path
+
+
+def write_json(name: str, payload: dict) -> Path:
+    """Persist one experiment's machine-readable results as JSON.
+
+    Sibling of :func:`write_result` for benches whose numbers feed
+    automated checks (e.g. ``BENCH_fastpath.json``'s speedup floor).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {path}")
     return path
 
 

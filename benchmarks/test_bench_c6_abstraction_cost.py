@@ -10,11 +10,19 @@ Regenerated rows: identical results; remote-message ratio
 (pattern / handwritten) per algorithm.  Expected shape: ratio 1.0 for
 remote traffic on SSSP/BFS (same one-hop structure), with the pattern
 runtime adding only local bookkeeping posts.
+
+A second table quantifies the *execution* side of the abstraction cost
+(DESIGN.md Sec. 6): wall-clock per algorithm with the plan interpreter
+(``fast_path="off"``), the compiled closures, and the vectorized batch
+path — identical outputs required across all three.
 """
+
+import time
 
 import numpy as np
 
 from _common import er_weighted, er_undirected, write_result
+from repro.runtime.machine import FAST_PATHS
 from repro import Machine
 from repro.algorithms import (
     bfs_fixed_point,
@@ -77,4 +85,51 @@ def test_c6_abstraction_cost(benchmark):
         "C6_abstraction_cost",
         "C6 — pattern-compiled vs handwritten message code",
         format_table(rows) + "\nidentical outputs on every algorithm",
+    )
+
+
+def test_c6_fastpath_wallclock():
+    """Interpreted vs compiled vs vectorized wall clock, same outputs."""
+    g, wg = er_weighted(n=512, avg_deg=8, seed=21)
+    gu, _, _ = er_undirected(n=400, m=900, seed=22)
+    layers = {"coalescing": 32}
+
+    workloads = {
+        "sssp": lambda fp: sssp_fixed_point(
+            Machine(4, fast_path=fp), g, wg, 0, layers={"relax": layers}
+        ),
+        "bfs": lambda fp: bfs_fixed_point(
+            Machine(4, fast_path=fp), g, 0, layers={"hop": layers}
+        ),
+        "cc-labelprop": lambda fp: cc_label_propagation(
+            Machine(4, fast_path=fp), gu, layers={"spread": layers}
+        ),
+    }
+
+    rows = []
+    for name, run in workloads.items():
+        times, outs = {}, {}
+        for fp in FAST_PATHS:
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                outs[fp] = run(fp)
+                best = min(best, time.perf_counter() - t0)
+            times[fp] = best
+        for fp in FAST_PATHS[1:]:
+            assert np.array_equal(outs["off"], outs[fp]), f"{name}: off vs {fp}"
+        rows.append(
+            {
+                "algorithm": name,
+                "interpreted_s": round(times["off"], 4),
+                "compiled_s": round(times["compiled"], 4),
+                "vectorized_s": round(times["vector"], 4),
+                "compiled_speedup": round(times["off"] / times["compiled"], 2),
+                "vector_speedup": round(times["off"] / times["vector"], 2),
+            }
+        )
+    write_result(
+        "C6_fastpath_wallclock",
+        "C6 — execution fast paths: wall clock per mode (best of 3)",
+        format_table(rows) + "\nidentical outputs in every mode",
     )

@@ -43,6 +43,9 @@ class LocalCSR:
         self.in_indptr = in_indptr
         self.in_sources = in_sources
         self.in_edge_gids = in_edge_gids
+        # Lazily materialized gid array backing out_edge_gids views (the
+        # per-call np.arange showed up hot: one allocation per fan-out).
+        self._edge_gids: np.ndarray | None = None
 
     # -- queries (local vertex index domain) --------------------------------
     @property
@@ -56,11 +59,20 @@ class LocalCSR:
         return self.targets[self.indptr[local] : self.indptr[local + 1]]
 
     def out_edge_gids(self, local: int) -> np.ndarray:
-        return np.arange(
-            self.edge_offset + self.indptr[local],
-            self.edge_offset + self.indptr[local + 1],
-            dtype=np.int64,
-        )
+        """Global edge ids of ``local``'s out-arcs (read-only view).
+
+        The gids of a rank's arcs are just ``edge_offset + arange(n_edges)``;
+        the full array is built once on first use and sliced per call, so
+        the hot fan-out loop never allocates.
+        """
+        g = self._edge_gids
+        if g is None:
+            g = np.arange(
+                self.edge_offset, self.edge_offset + len(self.targets), dtype=np.int64
+            )
+            g.setflags(write=False)
+            self._edge_gids = g
+        return g[self.indptr[local] : self.indptr[local + 1]]
 
     def arc_by_local_eid(self, local_eid: int) -> tuple[int, int]:
         """(global src, global trg) of a locally stored arc."""

@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Union
 
+import numpy as np
+
 from ..graph.distributed import DistributedGraph
 from ..props.lockmap import LockMap
 from ..props.property_map import EdgePropertyMap, VertexPropertyMap
@@ -53,6 +55,7 @@ from .expr import (
     TrgOf,
     unalias,
 )
+from .fastpath import _MISSING, compile_steps, recognize_vector_shape
 from .pattern import Pattern, PropertyDecl, default_for
 from .planner import ActionPlan, compile_action
 
@@ -130,13 +133,6 @@ class BoundAction:
         keys: list = sorted(self._all_keys(), key=repr)
         self._slot_of = {k: i for i, k in enumerate(keys)}
         self._key_of = keys
-        # Precompute per-step keys (hot path in _walk's elision check).
-        for cp in plan.cond_plans:
-            for s in cp.steps:
-                s._loc_key = unalias(s.locality).key()
-                s._read_keys = [r.key() for r in s.reads]
-                s._routing_keys = [r.key() for r in s.routing]
-                s._fold_keys = [f.key() for f in s.folds]
         # Unique message-type name: binding the same pattern repeatedly on
         # one machine (e.g. one bind per source in betweenness) must not
         # collide in the registry.
@@ -152,6 +148,18 @@ class BoundAction:
             address_of=lambda p: p[0],
             **bound.layer_config.get(self.name, {}),
         )
+        # -- execution fast paths (repro/patterns/fastpath.py) --------------
+        # "off": interpreted tree walk (the correctness oracle).
+        # "compiled": per-step closures compiled once, bit-identical
+        # payloads/statistics/values to the interpreted walk.
+        # "vector": additionally, recognizable plan shapes get a numpy
+        # batch kernel installed as the message type's batch handler.
+        fp = bound.machine.fast_path
+        self._compiled = compile_steps(self) if fp != "off" else None
+        self._walk_fn = self._walk if self._compiled is None else self._walk_compiled
+        self.vector_plan = recognize_vector_shape(self) if fp == "vector" else None
+        if self.vector_plan is not None:
+            self.mtype.batch_handler = self._batch_handler
 
     # -- slot table -----------------------------------------------------------
     def _all_keys(self) -> set:
@@ -198,13 +206,16 @@ class BoundAction:
     def _handler(self, ctx, payload: tuple) -> None:
         dest, ci, si, env = self._unpack(payload)
         if ci == -1:
-            self._run_generator(ctx, dest)
+            if self.vector_plan is not None:
+                self._vector_generate(ctx, dest)
+            else:
+                self._run_generator(ctx, dest)
         else:
             # restore the destination step's locality value from the
             # address slot (elided from the carried env when packing)
             step = self.plan.cond_plans[ci].steps[si]
             env.setdefault(step._loc_key, dest)
-            self._walk(ctx, dest, ci, si, env)
+            self._walk_fn(ctx, dest, ci, si, env)
 
     def _run_generator(self, ctx, v: int) -> None:
         g = self.bound.graph
@@ -213,7 +224,7 @@ class BoundAction:
         first = 0  # first condition index
         gen = a.generator
         if gen is None:
-            self._walk(ctx, v, first, 0, {input_key: v})
+            self._walk_fn(ctx, v, first, 0, {input_key: v})
             return
         gen_key = gen.var.key()
         if gen.is_builtin:
@@ -222,7 +233,7 @@ class BoundAction:
                 trg_key = TrgOf(gen.var).key()
                 gids, targets = g.out_edges(v)
                 for gid, t in zip(gids.tolist(), targets.tolist()):
-                    self._walk(
+                    self._walk_fn(
                         ctx,
                         v,
                         first,
@@ -234,7 +245,7 @@ class BoundAction:
                 trg_key = TrgOf(gen.var).key()
                 gids, sources = g.in_edges(v)
                 for gid, s in zip(gids.tolist(), sources.tolist()):
-                    self._walk(
+                    self._walk_fn(
                         ctx,
                         v,
                         first,
@@ -243,13 +254,13 @@ class BoundAction:
                     )
             else:  # adj
                 for u in g.adj(v).tolist():
-                    self._walk(ctx, v, first, 0, {input_key: v, gen_key: u})
+                    self._walk_fn(ctx, v, first, 0, {input_key: v, gen_key: u})
         else:
             # set-valued property map generator, read at v
             ev = _Evaluator(self.bound, ctx.rank)
             items = ev.eval(gen.source, {input_key: v})
             for u in items if items is not None else ():
-                self._walk(ctx, v, first, 0, {input_key: v, gen_key: int(u)})
+                self._walk_fn(ctx, v, first, 0, {input_key: v, gen_key: int(u)})
 
     # -- the step walker ----------------------------------------------------------------
     def _walk(self, ctx, at_vertex: int, ci: int, si: int, env: dict) -> None:
@@ -282,8 +293,7 @@ class BoundAction:
             if dest != at_vertex:
                 # The destination step's own locality value rides in the
                 # address slot (payload[0]); don't duplicate it in the env.
-                carry = step.live_in - {loc_key}
-                ctx.send(self.mtype, self._pack(dest, ci, si, env, carry))
+                ctx.send(self.mtype, self._pack(dest, ci, si, env, step._carry))
                 return
 
             if step.kind == "gather":
@@ -382,6 +392,192 @@ class BoundAction:
                     ctx.stats.count_work_item()
                     if self.work is not None:
                         self.work(ctx, w)
+
+    # -- tier 1: the compiled step walker -----------------------------------------
+    def _walk_compiled(self, ctx, at_vertex: int, ci: int, si: int, env: dict) -> None:
+        """Closure-compiled twin of :meth:`_walk` (fast_path != "off").
+
+        Identical control flow, payloads, statistics and property values —
+        only the per-message expression interpretation is replaced by the
+        closures built at bind() time (:func:`~repro.patterns.fastpath.compile_steps`).
+        """
+        plans = self._compiled
+        cond_plans = self.plan.cond_plans
+        optimized = self.plan.mode == "optimized"
+        rank = ctx.rank
+        while True:
+            steps = plans[ci]
+            step = steps[si]
+            dest = env.get(step.loc_key, _MISSING)
+            if dest is _MISSING:
+                raise PlanningError(
+                    f"routing value for step {ci}.{si} of {self.name} "
+                    "unknown (planner bug?)"
+                )
+
+            is_gather = step.kind == "gather"
+            if is_gather and optimized and all(k in env for k in step.elide_keys):
+                si += 1
+                continue
+
+            if dest != at_vertex:
+                ctx.send(self.mtype, self._pack(dest, ci, si, env, step.carry))
+                return
+
+            if is_gather:
+                for k, get, idx in step.reads:
+                    if k not in env or not optimized:
+                        env[k] = get(idx(env, rank), rank=rank)
+                for k, fn in step.routing:
+                    if k not in env or not optimized:
+                        env[k] = fn(env, rank)
+                for k, fn in step.folds:
+                    if k not in env:
+                        env[k] = fn(env, rank)
+                si += 1
+                continue
+
+            with self.bound.lockmap.lock(at_vertex):
+                if step.kind == "eval":
+                    local_env = dict(env)
+                    for k, get, idx in step.reads:
+                        local_env[k] = get(idx(local_env, rank), rank=rank)
+                    taken = step.test is None or bool(step.test(local_env, rank))
+                    if taken:
+                        for mod in step.mods:
+                            mod(ctx, local_env, rank)
+                else:  # modify
+                    for mod in step.mods:
+                        mod(ctx, env, rank)
+                    taken = True
+
+            if step.kind == "modify" or taken:
+                if si + 1 < len(steps):
+                    si += 1
+                    continue
+                nxt = cond_plans[ci].next_group
+            else:
+                cp = cond_plans[ci]
+                nxt = cp.next_on_false if cp.next_on_false is not None else cp.next_group
+            if nxt is None:
+                return
+            ci, si = nxt, 0
+
+    # -- tier 2: vectorized generation and batch delivery --------------------------
+    def _vector_generate(self, ctx, v: int) -> None:
+        """Vectorized generator fan-out for a recognized plan shape.
+
+        Computes every out-edge's candidate value with one numpy kernel
+        over the rank's CSR slice, then sends one message per edge through
+        the normal layer stack — message counts and payloads match the
+        scalar walk exactly.  Self-loop arcs run the eval step inline, as
+        elision would.
+        """
+        vp = self.vector_plan
+        g = self.bound.graph
+        rank = ctx.rank
+        csr = g.locals[rank]
+        local = g.partition.local_index(v)
+        sl = int(csr.indptr[local])
+        se = int(csr.indptr[local + 1])
+        if se == sl:
+            return
+        targets = csr.targets[sl:se].tolist()
+        # One kernel evaluation per carried env key; scalars (e.g. the
+        # input vertex id, dist[v]+... candidates on uniform graphs) stay
+        # scalar, per-edge values become aligned lists.
+        cols: list = []  # (slot, per_edge_list or None, scalar_value)
+        for slot, kern in vp.carry_vecs:
+            val = np.asarray(kern(rank, local, sl, se, v))
+            if val.ndim == 0:
+                cols.append((slot, None, val.tolist()))
+            else:
+                cols.append((slot, val.tolist(), None))
+        send = ctx.send
+        mtype = self.mtype
+        esi = vp.eval_si
+        eval_step = self.plan.cond_plans[0].steps[esi]
+        loc_key, cand_key = eval_step._loc_key, vp.cand_key
+        cand_col = (vp.cand_pos - 4) // 2
+        for i, t in enumerate(targets):
+            if t == v:
+                # self-loop: the eval step runs inline at v (as elision
+                # would); only the candidate matters to the merged handler
+                _, per_edge, scalar = cols[cand_col]
+                c = per_edge[i] if per_edge is not None else scalar
+                self._walk_fn(ctx, v, 0, esi, {loc_key: v, cand_key: c})
+                continue
+            payload: list = [t, 0, esi]
+            for slot, per_edge, scalar in cols:
+                payload.append(slot)
+                payload.append(per_edge[i] if per_edge is not None else scalar)
+            send(mtype, tuple(payload))
+
+    def _batch_handler(self, ctx, payloads: tuple) -> None:
+        """Vectorized delivery of one coalesced envelope (fast_path="vector").
+
+        Payloads addressed at the recognized eval step are applied as one
+        scatter kernel; anything else (generator starts, unrecognized
+        resume points) falls back to the scalar handler, preserving exact
+        semantics for the long tail.
+        """
+        vp = self.vector_plan
+        esi = vp.eval_si
+        plen, sig, cand_pos = vp.payload_len, vp.slot_sig, vp.cand_pos
+        dests: list = []
+        cands: list = []
+        rest: list = []
+        for p in payloads:
+            if (
+                len(p) == plen
+                and p[1] == 0
+                and p[2] == esi
+                and all(p[3 + 2 * i] == s for i, s in enumerate(sig))
+            ):
+                dests.append(p[0])
+                cands.append(p[cand_pos])
+            else:
+                rest.append(p)
+        if dests:
+            self._vector_apply(ctx, dests, cands)
+            ctx.stats.count_vector_items(self.mtype.name, len(dests))
+        for p in rest:
+            self._handler(ctx, p)
+
+    def _vector_apply(self, ctx, dests: list, cands: list) -> None:
+        """Apply a batch of candidate values as one extremum scatter.
+
+        Equivalent to running the merged eval+modify handler once per
+        payload: the scatter's compare-and-update *is* the condition test
+        plus assignment, applied under every touched vertex's lock.  The
+        work hook fires once per vertex whose value the batch improved —
+        the same dependent-vertex set the scalar walk discovers (it may
+        fire fewer times for vertices improved repeatedly within one
+        batch, which only dedupes re-activation).
+        """
+        vp = self.vector_plan
+        dv = np.asarray(dests, dtype=np.int64)
+        cv = np.asarray(cands)
+        local = self.bound.graph.partition.local_index_array(dv)
+        self.assign_count += len(dests)
+        with self.bound.lockmap.lock_many(dests):
+            changed = vp.target_map.scatter_extremum(
+                ctx.rank, local, cv, minimize=vp.minimize
+            )
+        if not changed.any():
+            return
+        touched = np.unique(dv[changed])
+        self.change_count += len(touched)
+        if vp.dependent:
+            # Fired after the locks are released: the hook may send (and
+            # the thread transport's layer locks must not nest inside
+            # vertex locks held for the whole batch).
+            stats = ctx.stats
+            work = self.work
+            for w in touched.tolist():
+                stats.count_work_item()
+                if work is not None:
+                    work(ctx, w)
 
     # -- introspection ------------------------------------------------------------
     def describe(self) -> str:

@@ -67,6 +67,28 @@ class Step:
     mods: list[Modification] = field(default_factory=list)  # eval (merged) / modify
     live_out: set = field(default_factory=set)  # env keys carried to the next step
     live_in: set = field(default_factory=set)  # env keys this step (and later) needs
+    # Memoized hot-path lookups, filled in by :meth:`finalize` once the
+    # plan is complete (the executor consults these per message; computing
+    # ``key()`` repr-sorts and tuples per call would dominate the handler).
+    _loc_key: Optional[tuple] = None
+    _read_keys: list = field(default_factory=list)
+    _routing_keys: list = field(default_factory=list)
+    _fold_keys: list = field(default_factory=list)
+    _carry: frozenset = frozenset()
+
+    def finalize(self) -> None:
+        """Precompute per-step keys and the carried-payload layout.
+
+        Called by :meth:`Planner.compile` after liveness (including the
+        cross-condition pass) has settled, so ``_carry`` — the env keys a
+        message to this step actually ships (its own locality rides in the
+        address slot instead) — is final.
+        """
+        self._loc_key = unalias(self.locality).key()
+        self._read_keys = [r.key() for r in self.reads]
+        self._routing_keys = [r.key() for r in self.routing]
+        self._fold_keys = [f.key() for f in self.folds]
+        self._carry = frozenset(self.live_in - {self._loc_key})
 
     def describe(self) -> str:
         bits = [f"@{self.locality.pretty()}"]
@@ -286,6 +308,10 @@ class Planner:
                 s.live_in |= downstream
                 s.live_out |= downstream
             downstream |= entry_needs[i]
+        # Liveness is final: memoize per-step keys and payload layouts.
+        for cp in cond_plans:
+            for s in cp.steps:
+                s.finalize()
         return ActionPlan(
             action=self.action,
             mode=self.mode,

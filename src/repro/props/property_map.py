@@ -135,6 +135,32 @@ class VertexPropertyMap:
         """This rank's raw storage (handler-side bulk operations)."""
         return self._slices[rank]
 
+    def scatter_extremum(
+        self, rank: int, local_idx: np.ndarray, values: np.ndarray, *, minimize: bool = True
+    ) -> np.ndarray:
+        """Bulk ``map[i] = min(map[i], val)`` (or max) at the owning rank.
+
+        ``local_idx`` may contain duplicates; ``np.minimum.at`` applies the
+        unbuffered elementwise extremum, which is exactly the sequential
+        result of merging every (index, value) pair one at a time — the
+        batch form of the paper's merged eval+modify handler.  Returns a
+        boolean mask (aligned with ``local_idx``) marking elements whose
+        destination slot holds a different value after the scatter; callers
+        uniquify destinations for change/dependency accounting.
+
+        Like :meth:`local_slice`, this is a handler-side bulk operation at
+        a known rank: the caller asserts locality (the executor only ever
+        passes destinations the addressing layer routed here) and holds the
+        relevant locks.
+        """
+        arr = self._slices[rank]
+        before = arr[local_idx]  # fancy indexing copies
+        if minimize:
+            np.minimum.at(arr, local_idx, values)
+            return arr[local_idx] < before
+        np.maximum.at(arr, local_idx, values)
+        return arr[local_idx] > before
+
     def __len__(self) -> int:
         return self.graph.n_vertices
 

@@ -44,6 +44,11 @@ from .termination import make_detector
 from .threads import ThreadTransport
 from .transport import HandlerContext
 
+#: Valid values for ``Machine(fast_path=...)``.  Kept in sync with
+#: ``repro.patterns.fastpath.FAST_PATHS`` (defined here too so the runtime
+#: package never imports the patterns package).
+FAST_PATHS = ("off", "compiled", "vector")
+
 
 class Machine:
     """A simulated (or threaded) distributed machine of ``n_ranks`` ranks."""
@@ -58,10 +63,21 @@ class Machine:
         threads_per_rank: int = 1,
         detector: str = "oracle",
         routing: str = "direct",
+        fast_path: str = "compiled",
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
+        if fast_path not in FAST_PATHS:
+            raise ValueError(
+                f"unknown fast_path {fast_path!r}; use one of {FAST_PATHS}"
+            )
         self.n_ranks = n_ranks
+        #: Execution strategy for bound patterns: ``"off"`` walks the
+        #: expression tree per message (reference semantics), ``"compiled"``
+        #: runs per-step closures compiled at bind() time, and ``"vector"``
+        #: additionally installs numpy batch kernels for recognizable plan
+        #: shapes (falling back to the compiled walk otherwise).
+        self.fast_path = fast_path
         self.registry = MessageRegistry()
         self.resolver = AddressResolver(n_ranks)
         self.stats = StatsRegistry()

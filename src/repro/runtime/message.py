@@ -66,6 +66,12 @@ class MessageType:
         self.address_of = address_of
         self.dest_rank_of = dest_rank_of
         self.type_id: int = -1  # assigned at registration
+        #: Optional vectorized delivery: ``batch_handler(ctx, payloads)``
+        #: receives a whole coalesced envelope (a tuple of payload tuples)
+        #: and must be observably equivalent to running ``handler`` once
+        #: per payload.  Installed by the pattern executor when a plan is
+        #: recognized as vectorizable (``fast_path="vector"``).
+        self.batch_handler: Optional[Callable[["HandlerContext", tuple], None]] = None  # noqa: F821
         # Layers (coalescing / caching / reduction) installed on this type,
         # outermost first.  ``send`` traverses these before hitting the wire.
         self.layers: list[Any] = []

@@ -30,10 +30,25 @@ class TypeStats:
     coalesced_items: int = 0
     cache_hits: int = 0
     reduction_combines: int = 0
+    # fast-path observability: how deliveries happened and how long they took
+    batch_deliveries: int = 0  # coalesced envelopes delivered
+    batch_items: int = 0  # logical payloads inside those envelopes
+    vector_deliveries: int = 0  # envelopes handed to a batch (vector) handler
+    vector_items: int = 0  # payloads executed by vectorized kernels
+    handler_seconds: float = 0.0  # wall time spent inside handlers
 
     @property
     def sent_total(self) -> int:
         return self.sent_local + self.sent_remote
+
+    @property
+    def scalar_deliveries(self) -> int:
+        """Handler invocations that ran one payload at a time."""
+        return self.handler_calls - self.vector_items
+
+    @property
+    def avg_batch_size(self) -> float:
+        return self.batch_items / self.batch_deliveries if self.batch_deliveries else 0.0
 
     @property
     def approx_bytes(self) -> int:
@@ -49,6 +64,11 @@ class TypeStats:
         self.coalesced_items += other.coalesced_items
         self.cache_hits += other.cache_hits
         self.reduction_combines += other.reduction_combines
+        self.batch_deliveries += other.batch_deliveries
+        self.batch_items += other.batch_items
+        self.vector_deliveries += other.vector_deliveries
+        self.vector_items += other.vector_items
+        self.handler_seconds += other.handler_seconds
 
     def snapshot(self) -> "TypeStats":
         return TypeStats(
@@ -60,6 +80,11 @@ class TypeStats:
             coalesced_items=self.coalesced_items,
             cache_hits=self.cache_hits,
             reduction_combines=self.reduction_combines,
+            batch_deliveries=self.batch_deliveries,
+            batch_items=self.batch_items,
+            vector_deliveries=self.vector_deliveries,
+            vector_items=self.vector_items,
+            handler_seconds=self.handler_seconds,
         )
 
 
@@ -139,11 +164,29 @@ class StatsRegistry:
             self._current.payload_slots += slots
             self.total.payload_slots += slots
 
-    def count_handler(self, name: str) -> None:
+    def count_handler(self, name: str, n: int = 1) -> None:
         with self.guard:
-            self.by_type[name].handler_calls += 1
-            self._current.handler_calls += 1
-            self.total.handler_calls += 1
+            self.by_type[name].handler_calls += n
+            self._current.handler_calls += n
+            self.total.handler_calls += n
+
+    def count_batch_delivery(self, name: str, items: int, *, vectorized: bool) -> None:
+        """One coalesced envelope delivered as a unit (``items`` payloads)."""
+        with self.guard:
+            ts = self.by_type[name]
+            ts.batch_deliveries += 1
+            ts.batch_items += items
+            if vectorized:
+                ts.vector_deliveries += 1
+
+    def count_vector_items(self, name: str, n: int) -> None:
+        """``n`` payloads executed by a vectorized (batch) kernel."""
+        with self.guard:
+            self.by_type[name].vector_items += n
+
+    def add_handler_time(self, name: str, seconds: float) -> None:
+        with self.guard:
+            self.by_type[name].handler_seconds += seconds
 
     def count_flush(self, name: str, items: int) -> None:
         with self.guard:
@@ -197,6 +240,10 @@ class StatsRegistry:
             "work_items": t.work_items,
             "forwarded": t.forwarded,
             "epochs": len(self.epochs),
+            "batch_deliveries": sum(ts.batch_deliveries for ts in self.by_type.values()),
+            "vector_deliveries": sum(ts.vector_deliveries for ts in self.by_type.values()),
+            "vector_items": sum(ts.vector_items for ts in self.by_type.values()),
+            "handler_seconds": sum(ts.handler_seconds for ts in self.by_type.values()),
         }
 
     def format_table(self) -> str:
@@ -212,5 +259,26 @@ class StatsRegistry:
                 f"{name:<28}{ts.sent_local:>9}{ts.sent_remote:>9}"
                 f"{ts.handler_calls:>9}{ts.coalesced_flushes:>9}"
                 f"{ts.cache_hits:>9}{ts.reduction_combines:>9}"
+            )
+        return "\n".join(lines)
+
+    def report(self) -> str:
+        """Fast-path observability table: scalar vs vectorized deliveries.
+
+        Shows, per message type, how many handler invocations ran one
+        payload at a time versus inside a vectorized batch kernel, the
+        average coalesced batch size, and wall time spent in handlers.
+        """
+        header = (
+            f"{'message type':<28}{'handled':>9}{'scalar':>9}{'vector':>9}"
+            f"{'batches':>9}{'avgbatch':>9}{'time(ms)':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.by_type):
+            ts = self.by_type[name]
+            lines.append(
+                f"{name:<28}{ts.handler_calls:>9}{ts.scalar_deliveries:>9}"
+                f"{ts.vector_items:>9}{ts.batch_deliveries:>9}"
+                f"{ts.avg_batch_size:>9.1f}{1e3 * ts.handler_seconds:>10.2f}"
             )
         return "\n".join(lines)
