@@ -30,11 +30,13 @@ Quickstart::
 
 from .runtime import (
     CachingLayer,
+    ChaosConfig,
     CoalescingLayer,
     Epoch,
     Machine,
     MessageType,
     ReductionLayer,
+    ReliableConfig,
 )
 
 __version__ = "1.0.0"

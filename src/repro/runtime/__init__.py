@@ -8,11 +8,19 @@ transports (deterministic simulation and real threads).
 
 from .addressing import AddressResolver, vertex_at
 from .caching import CachingLayer
+from .chaos import FAULT_KINDS, ChaosConfig, ChaosTransport, FaultEvent, derive_rng
 from .coalescing import CoalescingLayer
 from .epoch import Epoch
 from .machine import Machine, SpmdContext, SpmdEpoch
 from .message import Envelope, MessageType
 from .reductions import ReductionLayer, max_payload, min_payload, sum_payload
+from .reliable import (
+    ACK_TYPE_ID,
+    AckEnvelope,
+    ReliableConfig,
+    ReliableDelivery,
+    ReliableEnvelope,
+)
 from .sim import ROUTINGS, SCHEDULES, SimTransport
 from .stats import EpochStats, StatsRegistry, TypeStats
 from .termination import (
@@ -25,13 +33,23 @@ from .threads import ThreadTransport
 from .transport import HandlerContext, Transport
 
 __all__ = [
+    "ACK_TYPE_ID",
+    "AckEnvelope",
     "AddressResolver",
     "CachingLayer",
+    "ChaosConfig",
+    "ChaosTransport",
     "CoalescingLayer",
     "DETECTORS",
     "Envelope",
     "Epoch",
     "EpochStats",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "ReliableConfig",
+    "ReliableDelivery",
+    "ReliableEnvelope",
+    "derive_rng",
     "FourCounterDetector",
     "HandlerContext",
     "Machine",

@@ -1,0 +1,431 @@
+"""Chaos transport: deterministic, seeded fault injection on the wire.
+
+:class:`ChaosTransport` decorates any :class:`~repro.runtime.transport.
+Transport` instance (sim or threads) by intercepting the three points
+where a transport touches the physical network:
+
+* ``_enqueue`` — every envelope offered to the wire runs through the
+  fault pipeline (drop / duplicate / delay / reorder / split / stall);
+* ``run_handler`` — deliveries pass through the reliability layer's
+  dedup + ack logic before the real handler runs;
+* the progress engine (``step`` on the sim transport, ``drain`` on the
+  thread transport) — advances the chaos **tick clock**, releases
+  delayed envelopes from limbo, and fires due retransmissions.
+
+Faults are injected *below* the message layers (caching / reduction /
+coalescing) and *below* statistics and termination accounting: a logical
+send is counted once in ``Transport._wire`` no matter how many times the
+chaos layer drops, duplicates or splits the physical envelope, so the
+paper's message-cost model is computed on the intended traffic while the
+machinery underneath misbehaves.
+
+Determinism: every fault decision is drawn from a dedicated
+``random.Random`` stream derived from the chaos seed (see
+:func:`derive_rng`), never from the transport's scheduling stream — the
+same ``(schedule, seed)`` pair visits ranks in the same order whether or
+not chaos is enabled, and two chaos seeds differ only in faults.  Every
+injected fault is appended to :attr:`ChaosTransport.trace` as a
+:class:`FaultEvent`; replaying a run with ``ChaosConfig(script=trace)``
+reproduces those exact faults (and only those), which is what the
+schedule-exploration harness's shrinker exploits to minimize a failing
+seed to a small fault trace.
+
+Hypercube note: faults apply when an envelope *enters* the network;
+intermediate bit-fixing forwards are faithful.  This models a lossy NIC /
+injection queue rather than lossy links, and keeps fault accounting
+one-to-one with logical messages.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from .message import Envelope
+from .reliable import (
+    ACK_TYPE_ID,
+    AckEnvelope,
+    ReliableDelivery,
+    ReliableEnvelope,
+)
+
+#: Fault kinds a :class:`FaultEvent` may carry.
+FAULT_KINDS = ("drop", "duplicate", "delay", "reorder", "split")
+
+
+def derive_rng(seed, label: str) -> random.Random:
+    """An independent, deterministic RNG stream for one concern.
+
+    ``random.Random`` seeds strings stably (hashed with SHA-512, not the
+    per-process ``hash``), so ``derive_rng(3, "chaos")`` is the same
+    stream on every run and is statistically independent from
+    ``derive_rng(3, "schedule")``.  The sim transport and the chaos layer
+    both seed through this helper so chaos seeds can never perturb
+    scheduling decisions (and vice versa).
+    """
+    return random.Random(f"{seed}:{label}")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault: the ``index``-th wire decision got ``kind``.
+
+    ``arg`` carries the hold-back in ticks for ``delay`` / ``reorder``;
+    it is unused for the other kinds.  Traces are replayable via
+    ``ChaosConfig(script=...)`` and are what the shrinker minimizes.
+    """
+
+    index: int
+    kind: str
+    arg: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; pick from {FAULT_KINDS}")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault-injection knobs.  All probabilities are per wire decision.
+
+    ``stall_rank``/``stall_period``/``stall_ticks`` model a rank that
+    periodically stops receiving: while ``tick % stall_period <
+    stall_ticks`` every delivery addressed to ``stall_rank`` is parked
+    until the stall window closes (``stall_period == 0`` means a single
+    stall at the start of the run).
+
+    ``script`` replaces the random fate draw entirely: decision ``i``
+    gets the scripted fault if ``i`` appears in the script, and no fault
+    otherwise.  Used for replay and shrinking.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_hops: int = 8
+    reorder: float = 0.0
+    reorder_window: int = 3
+    split: float = 0.0
+    stall_rank: int = -1
+    stall_period: int = 0
+    stall_ticks: int = 0
+    drop_acks: bool = True
+    script: Optional[tuple[FaultEvent, ...]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay", "reorder", "split"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability must be in [0, 1], got {p}")
+        if self.drop >= 1.0:
+            raise ValueError("drop=1.0 loses every message forever; use < 1")
+        if self.drop + self.duplicate + self.delay + self.reorder + self.split > 1.0:
+            raise ValueError("fault probabilities must sum to at most 1")
+        if self.delay_hops < 1 or self.reorder_window < 1:
+            raise ValueError("delay_hops and reorder_window must be >= 1")
+        if self.stall_ticks < 0 or self.stall_period < 0:
+            raise ValueError("stall_period/stall_ticks must be >= 0")
+        if self.stall_period and self.stall_ticks >= self.stall_period:
+            raise ValueError("stall_ticks must be < stall_period (the rank must wake)")
+
+    @property
+    def lossy(self) -> bool:
+        """True when messages can be permanently lost without reliability."""
+        if self.drop > 0:
+            return True
+        return bool(self.script) and any(e.kind == "drop" for e in self.script)
+
+    def any_faults(self) -> bool:
+        return (
+            self.lossy
+            or self.duplicate > 0
+            or self.delay > 0
+            or self.reorder > 0
+            or self.split > 0
+            or (self.stall_rank >= 0 and self.stall_ticks > 0)
+            or bool(self.script)
+        )
+
+
+class ChaosTransport:
+    """Installs fault injection (and optionally reliability) on a transport.
+
+    The decorator patches the *instance* it wraps, so every internal call
+    site — layer flushes, ``wire_batch``, the drain loops — routes
+    through the chaotic wire without the rest of the runtime knowing.
+    ``machine.transport`` keeps its concrete type (``isinstance`` checks,
+    ``hop_observer`` wiring and SPMD mode are unaffected); the controller
+    is reachable as ``machine.chaos`` / ``transport.chaos``.
+    """
+
+    def __init__(
+        self,
+        transport,
+        config: Optional[ChaosConfig] = None,
+        reliable: Optional[ReliableDelivery] = None,
+    ) -> None:
+        self.inner = transport
+        self.machine = transport.machine
+        self.config = config or ChaosConfig()
+        self.reliable = reliable
+        self.stats = self.machine.stats
+        self._rng = derive_rng(self.config.seed, "chaos")
+        self._script = (
+            None
+            if self.config.script is None
+            else {e.index: e for e in self.config.script}
+        )
+        #: Every injected fault, in decision order.  Replayable.
+        self.trace: list[FaultEvent] = []
+        self._decision = 0
+        self._tick = 0
+        self._limbo: list = []  # heap of (release_tick, n, env, batch)
+        self._limbo_n = 0
+        self._lock = threading.RLock()
+        # -- install intercepts on the wrapped instance --------------------
+        self._orig_enqueue = transport._enqueue
+        self._orig_run_handler = transport.run_handler
+        self._orig_pending = transport.pending_messages
+        transport._enqueue = self._enqueue
+        transport.run_handler = self._run_handler
+        transport.pending_messages = self._pending_messages
+        if hasattr(transport, "step"):  # sim: tick per scheduler step
+            self._orig_step = transport.step
+            transport.step = self._step
+        else:  # threads: tick per drain pass
+            self._orig_drain = transport.drain
+            transport.drain = self._drain_threads
+        transport.chaos = self
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def tick(self) -> int:
+        return self._tick
+
+    def _stalled(self, rank: int) -> bool:
+        cfg = self.config
+        if cfg.stall_rank != rank or cfg.stall_ticks <= 0:
+            return False
+        if cfg.stall_period <= 0:
+            return self._tick < cfg.stall_ticks
+        return (self._tick % cfg.stall_period) < cfg.stall_ticks
+
+    def _stall_release_tick(self) -> int:
+        cfg = self.config
+        if cfg.stall_period <= 0:
+            return cfg.stall_ticks
+        return self._tick - (self._tick % cfg.stall_period) + cfg.stall_ticks
+
+    # -- fate -----------------------------------------------------------------
+    def _fate(self, is_batch: bool, is_ack: bool) -> tuple[str, int]:
+        """Decide this wire decision's fault (one decision index per offer)."""
+        i = self._decision
+        self._decision += 1
+        cfg = self.config
+        if self._script is not None:
+            ev = self._script.get(i)
+            if ev is None:
+                return ("", 0)
+            self.trace.append(ev)
+            return (ev.kind, ev.arg)
+        r = self._rng.random()
+        if is_ack and not cfg.drop_acks:
+            return ("", 0)
+        kind, arg = "", 0
+        acc = cfg.drop
+        if r < acc:
+            kind = "drop"
+        elif r < (acc := acc + cfg.duplicate):
+            kind = "duplicate"
+        elif r < (acc := acc + cfg.delay):
+            kind, arg = "delay", cfg.delay_hops
+        elif r < (acc := acc + cfg.reorder):
+            kind, arg = "reorder", 1 + self._rng.randrange(cfg.reorder_window)
+        elif is_batch and r < acc + cfg.split:
+            kind = "split"
+        if kind:
+            self.trace.append(FaultEvent(i, kind, arg))
+        return (kind, arg)
+
+    # -- wire interception -------------------------------------------------------
+    def _enqueue(self, env, batch: bool = False) -> None:
+        with self._lock:
+            if self.reliable is not None and not isinstance(
+                env, (ReliableEnvelope, AckEnvelope)
+            ):
+                env = self.reliable.wrap(env, batch, self._tick)
+            self._offer(env, batch, may_split=True)
+
+    def _offer(self, env, batch: bool, may_split: bool = False) -> None:
+        """Run one envelope through the fault pipeline.
+
+        ``may_split`` is true only for an envelope's *first* wire offer:
+        splitting re-registers the halves under fresh sequence numbers,
+        which is only sound while no copy of the original can have been
+        delivered yet (a split retransmission would resurrect payloads
+        the receiver already accepted under the old number).
+        """
+        is_ack = env.type_id == ACK_TYPE_ID
+        splittable = may_split and batch and len(env.payload) >= 2
+        kind, arg = self._fate(splittable, is_ack)
+        count = self.stats.count_chaos
+        if kind == "split":
+            if not splittable:  # scripted fault on an ineligible envelope
+                self._admit(env, batch)
+                return
+            count("split_envelopes")
+            self._split(env, batch)
+            return
+        if kind == "drop":
+            count("acks_dropped" if is_ack else "dropped")
+            # A dropped data envelope survives in the retransmission
+            # buffer (if reliability is on) and will be retried; a
+            # dropped ack is recovered by the ensuing retransmission.
+            return
+        if kind == "duplicate":
+            count("duplicated")
+            self._admit(env, batch)
+            self._admit(env, batch)
+            return
+        if kind in ("delay", "reorder"):
+            count("delayed" if kind == "delay" else "reordered")
+            self._to_limbo(env, batch, self._tick + max(1, arg))
+            return
+        self._admit(env, batch)
+
+    def _split(self, env, batch: bool) -> None:
+        """Tear one coalesced envelope into two smaller physical envelopes.
+
+        Each half becomes an independent reliable envelope (its own
+        sequence number); the original's retransmission entry is retired
+        so it is not re-sent whole.  Exercises the vectorized
+        batch-delivery path under partial arrival.
+        """
+        inner = env.env if isinstance(env, ReliableEnvelope) else env
+        if isinstance(env, ReliableEnvelope) and self.reliable is not None:
+            self.reliable.retire(env)
+        mid = len(inner.payload) // 2
+        for part in (inner.payload[:mid], inner.payload[mid:]):
+            sub = Envelope(
+                dest=inner.dest, type_id=inner.type_id, payload=part, src=inner.src
+            )
+            if self.reliable is not None:
+                sub = self.reliable.wrap(sub, batch, self._tick)
+            self._offer(sub, batch, may_split=True)
+
+    def _admit(self, env, batch: bool) -> None:
+        """Final admission to the real wire, honouring rank stalls."""
+        if self._stalled(env.dest):
+            self.stats.count_chaos("stalled")
+            self._to_limbo(env, batch, self._stall_release_tick())
+            return
+        self._orig_enqueue(env, batch)
+
+    def _to_limbo(self, env, batch: bool, release: int) -> None:
+        self._limbo_n += 1
+        heapq.heappush(self._limbo, (release, self._limbo_n, env, batch))
+
+    # -- delivery interception -----------------------------------------------------
+    def _run_handler(self, env, batch: bool) -> None:
+        if env.type_id == ACK_TYPE_ID:
+            if self.reliable is not None:
+                self.reliable.on_ack(env)
+            self.stats.count_chaos("acks_delivered")
+            return
+        if isinstance(env, ReliableEnvelope):
+            assert self.reliable is not None
+            fresh = self.reliable.accept(env)
+            # Ack every copy: the first ack may be lost, and only a
+            # re-ack of the suppressed duplicate can retire the retry.
+            self.stats.count_chaos("acks_sent")
+            ack = self.reliable.make_ack(env, env.dest)
+            with self._lock:
+                self._offer(ack, False)
+            if not fresh:
+                self.stats.count_chaos("duplicates_suppressed")
+                return
+            env = env.env
+        self._orig_run_handler(env, batch)
+
+    # -- progress ---------------------------------------------------------------
+    def _pump(self) -> None:
+        """Release matured limbo envelopes and fire due retransmissions."""
+        while self._limbo and self._limbo[0][0] <= self._tick:
+            _, _, env, batch = heapq.heappop(self._limbo)
+            self._admit(env, batch)
+        if self.reliable is not None and self.reliable.has_unacked():
+            for renv, batch in self.reliable.due_retries(self._tick):
+                self.stats.count_chaos("retries")
+                self._offer(renv, batch)
+
+    def _next_event_tick(self) -> Optional[int]:
+        candidates = []
+        if self._limbo:
+            candidates.append(self._limbo[0][0])
+        if self.reliable is not None:
+            due = self.reliable.next_due()
+            if due is not None:
+                candidates.append(due)
+        return min(candidates) if candidates else None
+
+    def _step(self) -> bool:
+        """Sim transport: one tick per scheduler step, plus idle fast-forward."""
+        with self._lock:
+            self._tick += 1
+            self._pump()
+        if self._orig_step():
+            return True
+        with self._lock:
+            nxt = self._next_event_tick()
+            if nxt is None:
+                return False
+            # Nothing deliverable now, but delayed envelopes or pending
+            # retries exist: jump the clock to the next event instead of
+            # burning one no-op step per tick.
+            if nxt > self._tick:
+                self._tick = nxt
+            self._pump()
+            return True
+
+    def _drain_threads(self, timeout: Optional[float] = None) -> int:
+        """Thread transport: drain, then pump chaos work until none remains."""
+        total = 0
+        while True:
+            total += self._orig_drain(timeout)
+            with self._lock:
+                self._tick += 1
+                nxt = self._next_event_tick()
+                if nxt is None:
+                    return total
+                if nxt > self._tick:
+                    self._tick = nxt
+                self._pump()
+
+    # -- quiescence -----------------------------------------------------------
+    def _pending_messages(self) -> int:
+        base = self._orig_pending()
+        with self._lock:
+            extra = len(self._limbo)
+        if self.reliable is not None:
+            # Every unacked envelope is potential future work; counting it
+            # keeps Oracle/Safra/FourCounter probes honest while a retry
+            # is in flight (the delivered copy may have been dropped).
+            extra += self.reliable.in_flight()
+        return base + extra
+
+    # -- teardown ----------------------------------------------------------------
+    def uninstall(self) -> None:
+        """Restore the wrapped transport's original methods."""
+        t = self.inner
+        t._enqueue = self._orig_enqueue
+        t.run_handler = self._orig_run_handler
+        t.pending_messages = self._orig_pending
+        if hasattr(self, "_orig_step"):
+            t.step = self._orig_step
+        if hasattr(self, "_orig_drain"):
+            t.drain = self._orig_drain
+        t.chaos = None

@@ -34,10 +34,12 @@ from typing import Callable, Optional, Union
 
 from .addressing import AddressResolver
 from .caching import CachingLayer
+from .chaos import ChaosConfig, ChaosTransport
 from .coalescing import CoalescingLayer
 from .epoch import Epoch
 from .message import MessageRegistry, MessageType
 from .reductions import ReductionLayer
+from .reliable import ReliableConfig, ReliableDelivery
 from .sim import SimTransport
 from .stats import StatsRegistry
 from .termination import make_detector
@@ -64,6 +66,8 @@ class Machine:
         detector: str = "oracle",
         routing: str = "direct",
         fast_path: str = "compiled",
+        chaos: Optional[ChaosConfig] = None,
+        reliable: Union[ReliableConfig, bool, None] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
@@ -95,6 +99,30 @@ class Machine:
         else:
             raise ValueError(f"unknown transport {transport!r}; use 'sim' or 'threads'")
         self.detector = make_detector(detector, self)
+        # -- fault injection + reliable delivery (Sec. "FAULTS" in docs) ----
+        #: ChaosTransport controller when chaos/reliability is installed.
+        self.chaos: Optional[ChaosTransport] = None
+        #: ReliableDelivery state machine, when installed.
+        self.reliable: Optional[ReliableDelivery] = None
+        if chaos is not None or reliable:
+            ccfg = chaos if chaos is not None else ChaosConfig()
+            if reliable is None:
+                # Chaos implies reliability unless explicitly disabled:
+                # without it a lossy channel breaks algorithm results and
+                # (for real detectors) termination itself.
+                reliable = chaos is not None
+            if reliable is True:
+                self.reliable = ReliableDelivery(ReliableConfig(), self.stats)
+            elif isinstance(reliable, ReliableConfig):
+                self.reliable = ReliableDelivery(reliable, self.stats)
+            if ccfg.lossy and self.reliable is None and detector != "oracle":
+                raise ValueError(
+                    "a lossy chaos config without reliable delivery can never "
+                    f"satisfy the {detector!r} detector's send/receive balance; "
+                    "use detector='oracle' (best-effort mode) or enable "
+                    "reliability"
+                )
+            self.chaos = ChaosTransport(self.transport, ccfg, self.reliable)
 
     # -- registration ----------------------------------------------------------
     def register(

@@ -1,0 +1,250 @@
+"""Reliable delivery over a lossy channel (exactly-once restoration).
+
+The chaos layer (:mod:`repro.runtime.chaos`) can drop, duplicate, delay
+and reorder envelopes on the wire.  The application-level guarantees the
+paper relies on — epoch quiescence (Sec. III-D), single-vertex
+consistency of merged eval+modify handlers (Sec. IV-A), and
+schedule-independence of pattern-built algorithms — all assume that a
+logical message is eventually delivered and its handler runs **exactly
+once**.  This module restores that contract on top of a faulty channel,
+AM++-style: the network may be unreliable, the runtime is not.
+
+Mechanism (classic sliding-window reliability, simplified to the
+simulator's needs):
+
+* every data envelope is wrapped in a :class:`ReliableEnvelope` carrying
+  a per-``(src, dest)`` channel **sequence number**;
+* the receiver **acknowledges** every copy it sees (acks are themselves
+  envelopes subject to chaos — a lost ack triggers a retransmission
+  which the receiver then suppresses);
+* the sender keeps unacknowledged envelopes in a retransmission buffer
+  and **retries** them with capped exponential backoff measured in
+  *progress ticks* (scheduler steps in the simulation, drain passes on
+  the thread transport) — there is no wall clock in the simulated
+  machine, so time is work;
+* the receiver suppresses duplicates with a per-channel
+  **dedup window** of recently seen sequence numbers.  The window is
+  finite (bounded memory, as a real transport's would be); the default
+  is large enough that a duplicate can never outlive it under the
+  chaos layer's bounded delays.  Shrinking it below the channel's
+  effective reordering depth re-introduces at-least-once delivery —
+  the schedule-exploration harness uses exactly that injection to prove
+  it can catch and shrink reliability bugs.
+
+Termination-detector interplay: ``Detector.on_send`` fires once per
+*logical* message (in ``Transport._wire``, before chaos touches the
+envelope) and ``on_receive`` once per *accepted* delivery (duplicates
+are suppressed before the base handler and therefore before the
+detector sees them), so Safra / four-counter balances still sum to zero
+exactly when every logical message has been delivered once.  Unacked
+envelopes and limbo messages count as pending work, so no detector can
+declare quiescence while a retry is in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from .message import Envelope
+
+#: Pseudo type id of acknowledgement envelopes.  Negative so it can never
+#: collide with a registered :class:`~repro.runtime.message.MessageType`;
+#: the chaos layer intercepts these before ordinary handler dispatch.
+ACK_TYPE_ID = -2
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Tuning knobs for the reliable-delivery layer.
+
+    All times are in progress ticks (see module docstring).
+    """
+
+    retry_base: int = 24  # ticks before the first retransmission
+    retry_cap: int = 512  # backoff ceiling
+    max_retries: int = 64  # give up (raise) after this many attempts
+    dedup_window: int = 4096  # remembered seqs per (src, dest) channel
+
+    def __post_init__(self) -> None:
+        if self.retry_base < 1:
+            raise ValueError("retry_base must be >= 1")
+        if self.retry_cap < self.retry_base:
+            raise ValueError("retry_cap must be >= retry_base")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if self.dedup_window < 1:
+            raise ValueError("dedup_window must be >= 1")
+
+
+class ReliableEnvelope:
+    """A data envelope tagged with its channel and sequence number.
+
+    Duck-types :class:`~repro.runtime.message.Envelope` for everything a
+    transport touches (``dest``/``src``/``type_id``/``payload``), so it
+    can sit in mailboxes and be hypercube-forwarded unchanged.
+    """
+
+    __slots__ = ("env", "channel", "seq")
+
+    def __init__(self, env: Envelope, channel: tuple, seq: int) -> None:
+        self.env = env
+        self.channel = channel
+        self.seq = seq
+
+    @property
+    def dest(self) -> int:
+        return self.env.dest
+
+    @property
+    def src(self) -> int:
+        return self.env.src
+
+    @property
+    def type_id(self) -> int:
+        return self.env.type_id
+
+    @property
+    def payload(self) -> tuple:
+        return self.env.payload
+
+    def slots(self) -> int:
+        return self.env.slots()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ReliableEnvelope(ch={self.channel}, seq={self.seq}, {self.env!r})"
+
+
+class AckEnvelope:
+    """Acknowledgement of one ``(channel, seq)``; travels like any envelope."""
+
+    __slots__ = ("dest", "src", "channel", "seq")
+    type_id = ACK_TYPE_ID
+    payload: tuple = ()
+
+    def __init__(self, dest: int, src: int, channel: tuple, seq: int) -> None:
+        self.dest = dest
+        self.src = src
+        self.channel = channel
+        self.seq = seq
+
+    def slots(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AckEnvelope(ch={self.channel}, seq={self.seq}, dest={self.dest})"
+
+
+class _Pending:
+    """Retransmission-buffer entry for one unacknowledged envelope."""
+
+    __slots__ = ("renv", "batch", "attempts", "due")
+
+    def __init__(self, renv: ReliableEnvelope, batch: bool, due: int) -> None:
+        self.renv = renv
+        self.batch = batch
+        self.attempts = 0
+        self.due = due
+
+
+class ReliableDelivery:
+    """Sender/receiver state machine shared by all ranks of one machine.
+
+    The simulation is single-process, so one instance plays every rank's
+    sender and receiver role; channel keys keep the per-rank state
+    separate exactly as a distributed implementation would.
+    """
+
+    def __init__(self, config: Optional[ReliableConfig] = None, stats=None) -> None:
+        self.config = config or ReliableConfig()
+        self.stats = stats
+        self._lock = threading.RLock()
+        self._next_seq: dict[tuple, int] = {}
+        self._unacked: dict[tuple, _Pending] = {}
+        # channel -> (seen set, insertion-order deque) bounded by the window
+        self._seen: dict[tuple, tuple[set, deque]] = {}
+        #: total retransmissions performed (mirrors stats.chaos.retries)
+        self.retries = 0
+        self.gave_up = 0
+
+    # -- sender side ---------------------------------------------------------
+    def wrap(self, env: Envelope, batch: bool, now: int) -> ReliableEnvelope:
+        """Assign the next sequence number and register for retransmission."""
+        with self._lock:
+            ch = (env.src, env.dest)
+            seq = self._next_seq.get(ch, 0)
+            self._next_seq[ch] = seq + 1
+            renv = ReliableEnvelope(env, ch, seq)
+            self._unacked[(ch, seq)] = _Pending(
+                renv, batch, now + self.config.retry_base
+            )
+            return renv
+
+    def retire(self, renv: ReliableEnvelope) -> None:
+        """Drop a pending entry without an ack (e.g. the chaos layer split
+        the envelope and re-registered its halves under fresh numbers)."""
+        with self._lock:
+            self._unacked.pop((renv.channel, renv.seq), None)
+
+    def on_ack(self, ack: AckEnvelope) -> None:
+        with self._lock:
+            self._unacked.pop((ack.channel, ack.seq), None)
+
+    def in_flight(self) -> int:
+        """Unacknowledged envelopes — pending work for quiescence checks."""
+        with self._lock:
+            return len(self._unacked)
+
+    def has_unacked(self) -> bool:
+        return bool(self._unacked)
+
+    def next_due(self) -> Optional[int]:
+        with self._lock:
+            if not self._unacked:
+                return None
+            return min(p.due for p in self._unacked.values())
+
+    def due_retries(self, now: int) -> list[tuple[ReliableEnvelope, bool]]:
+        """Collect entries due for retransmission and advance their backoff."""
+        cfg = self.config
+        out: list[tuple[ReliableEnvelope, bool]] = []
+        with self._lock:
+            for key, p in list(self._unacked.items()):
+                if p.due > now:
+                    continue
+                p.attempts += 1
+                if p.attempts > cfg.max_retries:
+                    self.gave_up += 1
+                    raise RuntimeError(
+                        f"reliable delivery gave up on {p.renv!r} after "
+                        f"{cfg.max_retries} retries; the channel is too lossy "
+                        "for the configured backoff"
+                    )
+                backoff = min(cfg.retry_cap, cfg.retry_base << min(p.attempts, 16))
+                p.due = now + backoff
+                self.retries += 1
+                out.append((p.renv, p.batch))
+        return out
+
+    # -- receiver side --------------------------------------------------------
+    def accept(self, renv: ReliableEnvelope) -> bool:
+        """``True`` iff this ``(channel, seq)`` has not been seen within the
+        dedup window — the caller delivers it; ``False`` suppresses it."""
+        with self._lock:
+            seen, order = self._seen.setdefault(renv.channel, (set(), deque()))
+            if renv.seq in seen:
+                return False
+            seen.add(renv.seq)
+            order.append(renv.seq)
+            while len(order) > self.config.dedup_window:
+                seen.discard(order.popleft())
+            return True
+
+    def make_ack(self, renv: ReliableEnvelope, from_rank: int) -> AckEnvelope:
+        ch = renv.channel
+        # Driver-injected channels (src == -1) are owned by the destination
+        # rank itself; acks loop back locally.
+        dest = ch[0] if ch[0] >= 0 else ch[1]
+        return AckEnvelope(dest, from_rank, ch, renv.seq)

@@ -17,14 +17,23 @@ Scheduling policies model the non-determinism of a real machine:
 
 Correctness of every algorithm must be schedule-independent (the paper
 gives no ordering guarantees beyond epochs); tests sweep policies.
+
+Randomness is split into independently seeded streams per concern
+(scheduling, routing tie-breaks, fault injection) via
+:func:`~repro.runtime.chaos.derive_rng`.  Historically a single
+``random.Random(seed)`` served every consumer, so enabling an unrelated
+feature (e.g. a chaos seed, or randomized routing under ``hypercube``)
+shifted the scheduling stream and silently changed which interleaving a
+test pinned.  With derived streams, the ``random`` schedule's rank picks
+are a function of ``(seed, policy)`` alone.
 """
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from typing import Optional
 
+from .chaos import derive_rng
 from .message import Envelope
 from .transport import HandlerContext, Transport
 
@@ -63,7 +72,11 @@ class SimTransport(Transport):
             )
         self.schedule = schedule
         self.routing = routing
-        self._rng = random.Random(seed)
+        self.seed = seed
+        # Independent streams: scheduling draws must not be perturbed by
+        # any other seeded concern (chaos faults, routing tie-breaks).
+        self._sched_rng = derive_rng(seed, "schedule")
+        self._route_rng = derive_rng(seed, "routing")
         self._mailboxes: list[deque] = [deque() for _ in range(self.n_ranks)]
         self._contexts = [HandlerContext(machine, r) for r in range(self.n_ranks)]
         self._seq = 0
@@ -113,7 +126,7 @@ class SimTransport(Transport):
         if not nonempty:
             return -1
         if self.schedule == "random":
-            return self._rng.choice(nonempty)
+            return self._sched_rng.choice(nonempty)
         if self.schedule == "fifo":
             return min(nonempty, key=lambda r: self._mailboxes[r][0][0])
         if self.schedule == "lifo":

@@ -1,0 +1,1 @@
+"""Correctness-tooling harnesses (schedule/fault exploration)."""

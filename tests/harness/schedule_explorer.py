@@ -1,0 +1,471 @@
+"""Schedule × fault exploration harness with trace shrinking.
+
+The paper's pattern-built algorithms must be **schedule-independent**
+(Sec. III-D gives no ordering guarantees beyond epochs) and the chaos +
+reliable-delivery stack must make them **fault-independent**: for any
+(schedule policy, routing, fast_path, chaos seed) combination, the final
+property maps must be bit-identical to a fault-free run of the same
+configuration.  This module provides:
+
+* a registry of small, deterministic :data:`WORKLOADS` (monotone
+  fixed-point algorithms *and* an accumulation workload whose sums are
+  sensitive to duplicated or lost deliveries — monotone min-updates are
+  idempotent and would mask at-least-once bugs);
+* :func:`sweep` / :func:`explore` — enumerate configuration combos, run
+  each under chaos, and diff against its fault-free oracle;
+* :func:`shrink_trace` — delta-debugging (ddmin) over the recorded
+  :class:`~repro.runtime.chaos.FaultEvent` trace of a failing run,
+  producing a minimal scripted fault sequence that still reproduces the
+  failure (replayable with ``ChaosConfig(script=...)``);
+* a CLI (``python -m tests.harness.schedule_explorer --chaos-seed N``)
+  used by the CI chaos job with a rotating seed; on failure it prints
+  the exact config and the shrunk trace for offline reproduction.
+
+Everything here is deterministic given the seeds involved; a failure
+report is a complete reproduction recipe.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.bfs import bfs_pattern
+from repro.algorithms.cc import cc_label_pattern
+from repro.algorithms.sssp import bind_sssp
+from repro.graph import build_graph, erdos_renyi, uniform_weights
+from repro.patterns import bind
+from repro.runtime.chaos import ChaosConfig, FaultEvent
+from repro.runtime.machine import FAST_PATHS, Machine
+from repro.runtime.reliable import ReliableConfig
+from repro.runtime.sim import ROUTINGS, SCHEDULES
+
+N_RANKS = 4  # power of two: every routing mode is available
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+
+
+def _graph(seed: int, n: int = 48, m: int = 130, directed: bool = True):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1.0, 8.0, seed=seed + 1)
+    g, wbg = build_graph(
+        n,
+        list(zip(s, t)),
+        weights=w,
+        directed=directed,
+        n_ranks=N_RANKS,
+        partition="cyclic",
+    )
+    return g, wbg
+
+
+def wl_sssp(machine: Machine, graph_seed: int) -> dict[str, np.ndarray]:
+    g, wbg = _graph(graph_seed)
+    bp = bind_sssp(machine, g, wbg, layers={"relax": {"coalescing": 16}})
+    dist = bp.map("dist")
+    dist.fill(math.inf)
+    dist[0] = 0.0
+    relax = bp["relax"]
+    relax.work = lambda ctx, w: relax.invoke_from(ctx, w)
+    with machine.epoch() as ep:
+        relax.invoke(ep, 0)
+    return {"dist": dist.to_array()}
+
+
+def wl_bfs(machine: Machine, graph_seed: int) -> dict[str, np.ndarray]:
+    g, _ = _graph(graph_seed)
+    bp = bind(bfs_pattern(), machine, g, layers={"hop": {"coalescing": 16}})
+    depth = bp.map("depth")
+    depth[0] = 0.0
+    hop = bp["hop"]
+    hop.work = lambda ctx, w: hop.invoke_from(ctx, w)
+    with machine.epoch() as ep:
+        hop.invoke(ep, 0)
+    return {"depth": depth.to_array()}
+
+
+def wl_cc(machine: Machine, graph_seed: int) -> dict[str, np.ndarray]:
+    g, _ = _graph(graph_seed, n=40, m=70, directed=False)
+    bp = bind(cc_label_pattern(), machine, g, layers={"spread": {"coalescing": 16}})
+    comp = bp.map("comp")
+    for v in g.vertices():
+        comp[v] = v
+    spread = bp["spread"]
+    spread.work = lambda ctx, w: spread.invoke_from(ctx, w)
+    with machine.epoch() as ep:
+        for v in g.vertices():
+            spread.invoke(ep, v)
+    return {"comp": comp.to_array()}
+
+
+def wl_accumulate(machine: Machine, graph_seed: int, n: int = 64) -> dict[str, np.ndarray]:
+    """Duplication/loss-sensitive workload: message-count accumulation.
+
+    Every handler adds its payload into a per-vertex sum and forwards a
+    decremented token deterministically, so the *multiset* of logical
+    messages (hence the final sums) is schedule-independent — but any
+    duplicated delivery inflates a sum and any lost one deflates it.
+    The monotone fixed-point workloads above cannot see such bugs
+    (re-relaxing an idempotent min-update is invisible); this one exists
+    precisely to catch at-least-once / at-most-once violations.
+    """
+    acc = np.zeros(n)
+
+    def bump(ctx, p):
+        v, hops, x = p
+        acc[v] += x
+        if hops > 0:
+            ctx.send("bump", ((v * 5 + x) % n, hops - 1, x + 1))
+
+    machine.register("bump", bump, dest_rank_of=lambda p: p[0] % N_RANKS, coalescing=8)
+    with machine.epoch() as ep:
+        for v in range(0, n, 3):
+            ep.invoke("bump", (v, 12, (v + graph_seed) % 7))
+    return {"acc": acc}
+
+
+Workload = Callable[[Machine, int], dict[str, np.ndarray]]
+
+WORKLOADS: dict[str, Workload] = {
+    "sssp": wl_sssp,
+    "bfs": wl_bfs,
+    "cc": wl_cc,
+    "accumulate": wl_accumulate,
+}
+
+
+# ---------------------------------------------------------------------------
+# configurations and execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One point of the (workload × schedule × routing × fast_path) space."""
+
+    workload: str = "sssp"
+    schedule: str = "round_robin"
+    routing: str = "direct"
+    fast_path: str = "compiled"
+    detector: str = "oracle"
+    machine_seed: int = 0
+    graph_seed: int = 3
+
+    def describe(self) -> str:
+        return (
+            f"{self.workload} schedule={self.schedule} routing={self.routing} "
+            f"fast_path={self.fast_path} detector={self.detector} "
+            f"seed={self.machine_seed} graph_seed={self.graph_seed}"
+        )
+
+
+def run_config(
+    cfg: RunConfig,
+    chaos: Optional[ChaosConfig] = None,
+    reliable=None,
+) -> dict[str, np.ndarray]:
+    """Execute one configuration; returns the workload's final arrays."""
+    machine = Machine(
+        n_ranks=N_RANKS,
+        schedule=cfg.schedule,
+        seed=cfg.machine_seed,
+        routing=cfg.routing,
+        fast_path=cfg.fast_path,
+        detector=cfg.detector,
+        chaos=chaos,
+        reliable=reliable,
+    )
+    out = WORKLOADS[cfg.workload](machine, cfg.graph_seed)
+    assert machine.transport.quiescent(), "workload returned before quiescence"
+    return out
+
+
+def compare(oracle: dict, candidate: dict) -> list[str]:
+    """Bit-identical array comparison; returns human-readable mismatches."""
+    mismatches = []
+    for key in oracle:
+        a, b = oracle[key], candidate.get(key)
+        if b is None:
+            mismatches.append(f"{key}: missing from candidate run")
+        elif not np.array_equal(a, b):
+            bad = np.flatnonzero(~np.isclose(a, b, equal_nan=True))
+            head = ", ".join(
+                f"[{i}] {a[i]} != {b[i]}" for i in bad[:4]
+            ) or "bit-level difference"
+            mismatches.append(f"{key}: {len(bad)} cells differ ({head})")
+    return mismatches
+
+
+@dataclass
+class Failure:
+    """A chaos run that diverged from its fault-free oracle (or crashed)."""
+
+    config: RunConfig
+    chaos: ChaosConfig
+    mismatches: list[str]
+    trace: tuple[FaultEvent, ...]
+    error: Optional[str] = None
+
+    def describe(self) -> str:
+        what = self.error or "; ".join(self.mismatches)
+        return (
+            f"{self.config.describe()} chaos_seed={self.chaos.seed}\n"
+            f"  -> {what}\n"
+            f"  trace ({len(self.trace)} events): {list(self.trace)}"
+        )
+
+
+def default_chaos(seed: int) -> ChaosConfig:
+    """The harness's standard adversary: a bit of everything."""
+    return ChaosConfig(
+        seed=seed,
+        drop=0.12,
+        duplicate=0.08,
+        delay=0.05,
+        delay_hops=6,
+        reorder=0.10,
+        reorder_window=4,
+        split=0.05,
+    )
+
+
+def sweep(
+    chaos_seeds: Iterable[int] = (0, 1),
+    workloads: Sequence[str] = ("sssp", "accumulate"),
+    schedules: Sequence[str] = SCHEDULES,
+    routings: Sequence[str] = ROUTINGS,
+    fast_paths: Sequence[str] = FAST_PATHS,
+    chaos_maker: Callable[[int], ChaosConfig] = default_chaos,
+) -> list[tuple[RunConfig, ChaosConfig]]:
+    """Enumerate (schedule × routing × fast_path × chaos seed) combos."""
+    combos: list[tuple[RunConfig, ChaosConfig]] = []
+    for wl in workloads:
+        for schedule in schedules:
+            for routing in routings:
+                for fp in fast_paths:
+                    for cs in chaos_seeds:
+                        cfg = RunConfig(
+                            workload=wl,
+                            schedule=schedule,
+                            routing=routing,
+                            fast_path=fp,
+                        )
+                        combos.append((cfg, chaos_maker(cs)))
+    return combos
+
+
+def explore(
+    combos: Sequence[tuple[RunConfig, ChaosConfig]],
+    reliable=None,
+    on_progress: Optional[Callable[[int, int], None]] = None,
+) -> list[Failure]:
+    """Run every combo under chaos and diff against its fault-free oracle.
+
+    The oracle is the *same* RunConfig without chaos: chaos (and the
+    reliability machinery riding on it) must be observably free.
+    """
+    failures: list[Failure] = []
+    oracles: dict[RunConfig, dict] = {}
+    for i, (cfg, chaos) in enumerate(combos):
+        if cfg not in oracles:
+            oracles[cfg] = run_config(cfg)
+        trace: tuple[FaultEvent, ...] = ()
+        try:
+            machine_trace: list = []
+            result = _run_traced(cfg, chaos, reliable, machine_trace)
+            trace = tuple(machine_trace)
+            mismatches = compare(oracles[cfg], result)
+            if mismatches:
+                failures.append(Failure(cfg, chaos, mismatches, trace))
+        except Exception as exc:  # noqa: BLE001 - harness records, not hides
+            failures.append(Failure(cfg, chaos, [], trace, error=repr(exc)))
+        if on_progress is not None:
+            on_progress(i + 1, len(combos))
+    return failures
+
+
+def _run_traced(cfg, chaos, reliable, sink: list) -> dict:
+    """run_config, but capture the chaos trace even if the run fails."""
+    machine = Machine(
+        n_ranks=N_RANKS,
+        schedule=cfg.schedule,
+        seed=cfg.machine_seed,
+        routing=cfg.routing,
+        fast_path=cfg.fast_path,
+        detector=cfg.detector,
+        chaos=chaos,
+        reliable=reliable,
+    )
+    try:
+        return WORKLOADS[cfg.workload](machine, cfg.graph_seed)
+    finally:
+        if machine.chaos is not None:
+            sink.extend(machine.chaos.trace)
+
+
+# ---------------------------------------------------------------------------
+# shrinking (ddmin over the fault trace)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Shrinker:
+    """Delta-debugging minimizer for failing fault traces.
+
+    Given a configuration and the recorded trace of a failing chaos run,
+    finds a (locally) minimal subset of fault events that still makes
+    the scripted replay diverge from the fault-free oracle.  Replays are
+    fully deterministic, so "still fails" is a pure predicate — though
+    removing events shifts later decision indices, which is fine: ddmin
+    only ever keeps subsets it has *observed* failing.
+    """
+
+    config: RunConfig
+    reliable: object = None  # ReliableConfig | bool | None, as Machine takes
+    tests_run: int = field(default=0)
+    _oracle: Optional[dict] = field(default=None, repr=False)
+
+    def fails(self, events: Sequence[FaultEvent]) -> bool:
+        """Does replaying exactly these scripted faults still misbehave?"""
+        self.tests_run += 1
+        if self._oracle is None:
+            self._oracle = run_config(self.config)
+        try:
+            result = run_config(
+                self.config,
+                chaos=ChaosConfig(script=tuple(events)),
+                reliable=self.reliable,
+            )
+        except Exception:  # noqa: BLE001 - a crash is a reproduction too
+            return True
+        return bool(compare(self._oracle, result))
+
+    def shrink(self, events: Sequence[FaultEvent]) -> tuple[FaultEvent, ...]:
+        """Classic ddmin, then a final single-event elimination pass."""
+        current = list(events)
+        if not self.fails(current):
+            raise ValueError("shrink called with a non-failing trace")
+        n = 2
+        while len(current) >= 2:
+            chunk = math.ceil(len(current) / n)
+            reduced = False
+            for i in range(n):
+                complement = current[: i * chunk] + current[(i + 1) * chunk :]
+                if complement and self.fails(complement):
+                    current = complement
+                    n = max(n - 1, 2)
+                    reduced = True
+                    break
+            if not reduced:
+                if n >= len(current):
+                    break
+                n = min(len(current), 2 * n)
+        # 1-minimality polish: drop any single event that is not needed.
+        for i in range(len(current) - 1, -1, -1):
+            if len(current) == 1:
+                break
+            candidate = current[:i] + current[i + 1 :]
+            if self.fails(candidate):
+                current = candidate
+        return tuple(current)
+
+
+def shrink_trace(
+    config: RunConfig,
+    trace: Sequence[FaultEvent],
+    reliable=None,
+) -> tuple[FaultEvent, ...]:
+    """Convenience wrapper: minimize ``trace`` for ``config``."""
+    return Shrinker(config, reliable).shrink(trace)
+
+
+# ---------------------------------------------------------------------------
+# CLI (used by the CI chaos job)
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sweep schedule × routing × fast_path × chaos seed and "
+        "diff every run against its fault-free oracle."
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="base chaos seed (CI rotates this); seeds used are base and base+1",
+    )
+    parser.add_argument(
+        "--workloads",
+        default="sssp,accumulate",
+        help="comma-separated workloads (%s)" % ",".join(sorted(WORKLOADS)),
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="on failure, also shrink the first failing trace before exiting",
+    )
+    args = parser.parse_args(argv)
+    workloads = tuple(w for w in args.workloads.split(",") if w)
+    for w in workloads:
+        if w not in WORKLOADS:
+            parser.error(f"unknown workload {w!r}")
+    combos = sweep(
+        chaos_seeds=(args.chaos_seed, args.chaos_seed + 1), workloads=workloads
+    )
+    print(
+        f"schedule explorer: {len(combos)} combos "
+        f"(chaos seeds {args.chaos_seed}, {args.chaos_seed + 1})"
+    )
+    failures = explore(combos)
+    if not failures:
+        print(f"OK: all {len(combos)} combos bit-identical to the fault-free oracle")
+        return 0
+    print(f"FAIL: {len(failures)}/{len(combos)} combos diverged", file=sys.stderr)
+    for f in failures:
+        print(f.describe(), file=sys.stderr)
+    if args.shrink and failures[0].trace:
+        first = failures[0]
+        minimal = shrink_trace(first.config, first.trace)
+        print(
+            f"shrunk first failure to {len(minimal)} events: {list(minimal)}",
+            file=sys.stderr,
+        )
+        print(
+            "replay with: run_config(%r, chaos=ChaosConfig(script=%r))"
+            % (first.config, tuple(minimal)),
+            file=sys.stderr,
+        )
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CI entry point
+    raise SystemExit(main())
+
+
+# re-export for tests
+__all__ = [
+    "ChaosConfig",
+    "Failure",
+    "N_RANKS",
+    "ReliableConfig",
+    "RunConfig",
+    "Shrinker",
+    "WORKLOADS",
+    "compare",
+    "default_chaos",
+    "explore",
+    "main",
+    "replace",
+    "run_config",
+    "shrink_trace",
+    "sweep",
+]

@@ -31,6 +31,7 @@ from repro.algorithms.sssp import (
 )
 from repro.graph import build_graph, erdos_renyi, rmat, uniform_weights
 from repro.patterns import bind
+from repro.runtime import ChaosConfig
 from repro.runtime.machine import FAST_PATHS, Machine
 
 MODES = list(FAST_PATHS)
@@ -256,6 +257,73 @@ def test_bfs_differential_threads(fast_path):
         m.shutdown()
     assert np.array_equal(dist0, depth)
     assert deps0 == deps
+
+
+# ---------------------------------------------------------------------------
+# chaos: faults on the batch wire must not leak through the fast paths
+# ---------------------------------------------------------------------------
+#
+# The vector batch path consumes whole coalesced envelopes at once; under
+# chaos an envelope may arrive split in half, duplicated, or late.  Each
+# fast path must still produce the exact property maps and dependent sets
+# of the fault-free interpreted oracle — the reliable layer re-registers
+# split halves under fresh sequence numbers and suppresses duplicates
+# before the batch kernel ever sees them.
+
+CHAOS_SEEDS = [0, 1, 2, 3]
+
+
+def make_chaos_machine(fast_path, seed):
+    return Machine(
+        n_ranks=4,
+        fast_path=fast_path,
+        chaos=ChaosConfig(
+            seed=seed, drop=0.08, duplicate=0.10, reorder=0.08, split=0.20
+        ),
+        reliable=True,
+    )
+
+
+@pytest.mark.parametrize("fast_path", MODES)
+@pytest.mark.parametrize("chaos_seed", CHAOS_SEEDS)
+def test_sssp_differential_chaos(fast_path, chaos_seed):
+    g, wbg, s, t = er_instance()
+    layers = {"relax": {"coalescing": 32}}
+    dist0, deps0 = run_sssp(make_machine("off"), g, wbg, 0, layers=layers)
+    m = make_chaos_machine(fast_path, chaos_seed)
+    dist, deps = run_sssp(m, g, wbg, 0, layers=layers)
+    assert np.array_equal(dist0, dist), f"dist mismatch under chaos ({fast_path})"
+    assert deps0 == deps, f"dependent set mismatch under chaos ({fast_path})"
+    # the split fault must actually have exercised envelope splitting
+    assert m.stats.chaos.split_envelopes > 0, "no coalesced envelope was split"
+    assert m.stats.chaos.duplicates_suppressed > 0
+    if fast_path == "vector":
+        assert vector_items(m) > 0, "vector batch kernel never fired under chaos"
+
+
+@pytest.mark.parametrize("fast_path", MODES)
+@pytest.mark.parametrize("chaos_seed", CHAOS_SEEDS)
+def test_bfs_differential_chaos(fast_path, chaos_seed):
+    g, _, s, t = er_instance(seed=4)
+    layers = {"hop": {"coalescing": 16}}
+    depth0, deps0 = run_bfs(make_machine("off"), g, layers=layers)
+    m = make_chaos_machine(fast_path, chaos_seed)
+    depth, deps = run_bfs(m, g, layers=layers)
+    assert np.array_equal(depth0, depth)
+    assert deps0 == deps
+    assert m.stats.chaos.faults_injected > 0
+
+
+@pytest.mark.parametrize("chaos_seed", CHAOS_SEEDS)
+def test_delta_stepping_vector_chaos(chaos_seed):
+    g, wbg, s, t = rmat_instance(scale=6, edge_factor=5, seed=17)
+    layers = {"relax": {"coalescing": 64}}
+    ref = sssp_delta_stepping(make_machine("off"), g, wbg, 0, 3.0, layers=layers)
+    m = make_chaos_machine("vector", chaos_seed)
+    dist = sssp_delta_stepping(m, g, wbg, 0, 3.0, layers=layers)
+    assert np.array_equal(ref, dist)
+    assert vector_items(m) > 0
+    assert m.stats.chaos.split_envelopes > 0
 
 
 # ---------------------------------------------------------------------------

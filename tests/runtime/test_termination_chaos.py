@@ -1,0 +1,151 @@
+"""Termination detection under faults: no quiescence while retries fly.
+
+The reliable-delivery layer turns a dropped envelope into an unacked
+in-flight retry.  A termination detector that declared quiescence during
+that window would terminate the epoch with work still logically pending —
+the classic at-least-once/termination race.  These tests pin down the
+contract: ``probe()`` is False for *every* detector while the chaos
+layer holds limbo'd envelopes or unacked sequence numbers, and True only
+once every logical message has been delivered exactly once.
+"""
+
+import pytest
+
+from repro import Machine
+from repro.runtime import ChaosConfig, FaultEvent, ReliableConfig
+
+DETECTORS = ("oracle", "safra", "four_counter")
+
+
+def make_machine(detector, script=None, seed=0, **chaos_kw):
+    cfg = (
+        ChaosConfig(script=tuple(script))
+        if script is not None
+        else ChaosConfig(seed=seed, **chaos_kw)
+    )
+    m = Machine(n_ranks=4, detector=detector, chaos=cfg, reliable=True)
+    log = []
+
+    def relay(ctx, p):
+        log.append(ctx.rank)
+        if p[0] > 0:
+            ctx.send("relay", (p[0] - 1,))
+
+    m.register("relay", relay, dest_rank_of=lambda p: p[0] % 4)
+    return m, log
+
+
+class TestNoQuiescenceWhileRetryInFlight:
+    """Scripted drop of the very first envelope: until the retry fires and
+    is acked, every detector must refuse to certify termination."""
+
+    @pytest.mark.parametrize("detector", DETECTORS)
+    def test_probe_false_during_retry_window(self, detector):
+        m, log = make_machine(detector, script=[FaultEvent(0, "drop")])
+        m.inject("relay", (3,), dest=3)
+        # The original envelope was dropped on the wire; nothing is in any
+        # mailbox, but the reliable layer still holds the unacked seq.
+        assert m.chaos.reliable.in_flight() == 1
+        assert len(log) == 0
+        assert m.detector.probe() is False, (
+            f"{detector} declared quiescence with a retry in flight"
+        )
+        assert m.transport.quiescent() is False
+        # Draining runs the retry/ack protocol to completion.
+        m.drain()
+        assert m.chaos.reliable.in_flight() == 0
+        assert m.detector.probe() is True
+        assert len(log) == 4  # hops 3,2,1,0 — exactly once each
+        assert m.stats.chaos.retries >= 1
+
+    @pytest.mark.parametrize("detector", ("safra", "four_counter"))
+    def test_probe_false_at_every_drain_step(self, detector):
+        """Single-step the simulator and probe at every tick: the detector
+        must never report True before the reliable layer is empty."""
+        m, log = make_machine(
+            detector, script=[FaultEvent(0, "drop"), FaultEvent(3, "drop")]
+        )
+        m.inject("relay", (6,), dest=2)
+        premature = []
+        for _ in range(10_000):
+            if m.chaos.reliable.has_unacked() and m.detector.probe():
+                premature.append(m.chaos.reliable.in_flight())
+            if not m.transport.step():
+                break
+        assert not premature, (
+            f"{detector} proved termination with unacked messages: {premature}"
+        )
+        assert len(log) == 7
+        assert m.detector.probe() is True
+
+
+class TestEpochCompletionUnderFaults:
+    @pytest.mark.parametrize("detector", DETECTORS)
+    def test_epoch_terminates_under_drop_and_dup(self, detector):
+        m, log = make_machine(
+            detector, seed=11, drop=0.2, duplicate=0.15, reorder=0.1
+        )
+        with m.epoch() as ep:
+            ep.invoke("relay", (25,))
+        assert len(log) == 26  # exactly-once despite drops and duplicates
+        assert m.stats.chaos.faults_injected > 0
+        assert m.transport.quiescent()
+
+    @pytest.mark.parametrize("detector", ("safra", "four_counter"))
+    def test_balances_zero_after_faulty_epoch(self, detector):
+        m, _ = make_machine(detector, seed=5, drop=0.25, duplicate=0.2)
+        with m.epoch() as ep:
+            ep.invoke("relay", (18,))
+        if detector == "safra":
+            assert sum(s.balance for s in m.detector.ranks) == 0
+        else:
+            assert sum(m.detector.sent) == sum(m.detector.received)
+
+    @pytest.mark.parametrize("detector", DETECTORS)
+    def test_multiple_epochs_with_persistent_chaos(self, detector):
+        m, log = make_machine(detector, seed=3, drop=0.15, duplicate=0.1)
+        for hops in (5, 7, 3):
+            with m.epoch() as ep:
+                ep.invoke("relay", (hops,))
+        assert len(log) == 6 + 8 + 4
+
+
+class TestUnsafeConfigsRejected:
+    def test_lossy_chaos_without_reliability_needs_oracle(self):
+        with pytest.raises(ValueError, match="reliab"):
+            Machine(
+                n_ranks=2,
+                detector="safra",
+                chaos=ChaosConfig(drop=0.1),
+                reliable=False,
+            )
+
+    def test_oracle_may_run_lossy_without_reliability(self):
+        # The oracle inspects real queues, so dropped == gone is visible to
+        # it; lossy-without-retry is then legal (delivery becomes at-most-once).
+        m = Machine(
+            n_ranks=2,
+            detector="oracle",
+            chaos=ChaosConfig(script=(FaultEvent(0, "drop"),)),
+            reliable=False,
+        )
+        log = []
+        m.register("x", lambda ctx, p: log.append(p), dest_rank_of=lambda p: 1)
+        m.inject("x", (1,), dest=1)
+        m.drain()
+        assert log == []  # everything dropped, and that's the contract
+
+    def test_retry_exhaustion_raises(self):
+        cfg = ReliableConfig(retry_base=1, retry_cap=1, max_retries=3)
+        # Script: swallow the original send and every retransmission.
+        script = tuple(FaultEvent(i, "drop") for i in range(16))
+        m = Machine(
+            n_ranks=2,
+            detector="oracle",
+            chaos=ChaosConfig(script=script),
+            reliable=cfg,
+        )
+        m.register("x", lambda ctx, p: None, dest_rank_of=lambda p: 1)
+        m.inject("x", (1,), dest=1)
+        with pytest.raises(RuntimeError, match="retr"):
+            m.drain()
