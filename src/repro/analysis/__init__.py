@@ -1,6 +1,15 @@
-"""Run reports, message tracing, and validation utilities."""
+"""Run reports, message tracing, telemetry export, and validation utilities."""
 
+from .critical_path import PathReport, chain_of, critical_paths, render_critical_paths
 from .metrics import RunReport, collect_report, format_table
+from .telemetry_export import (
+    parse_prometheus,
+    to_chrome_trace,
+    to_prometheus,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_prometheus,
+)
 from .tracing import MessageTracer, TraceEvent
 from .validation import (
     HAVE_NETWORKX,
@@ -14,13 +23,23 @@ from .validation import (
 __all__ = [
     "HAVE_NETWORKX",
     "MessageTracer",
+    "PathReport",
     "RunReport",
     "TraceEvent",
+    "chain_of",
     "collect_report",
+    "critical_paths",
     "distances_match",
     "format_table",
     "networkx_bfs_depths",
     "networkx_components",
     "networkx_sssp",
+    "parse_prometheus",
+    "render_critical_paths",
+    "to_chrome_trace",
     "to_networkx",
+    "to_prometheus",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_prometheus",
 ]

@@ -1,0 +1,155 @@
+"""Epoch critical-path analysis over the telemetry span DAG.
+
+An epoch's wall time is bounded below by its longest *causal chain*: the
+msg → handle → msg → ... path from a driver injection to the last handler
+it transitively caused.  The paper's message diagrams (Figs. 5-6) are
+exactly such chains for one action invocation; this module extracts them
+from live telemetry, both as a per-epoch report (where did the epoch's
+depth come from?) and as a chain-reconstruction helper used by the
+fidelity tests to compare recorded causality against the planner's
+dependency graph.
+
+Spans form a DAG: ``parent`` edges (handle → causing msg, msg → sending
+handle) plus ``links`` edges (a vectorized batch span merges many msg
+predecessors).  Span ids are allocated monotonically and every edge
+points to an earlier span, so a single pass in sid order is a
+topological traversal — the analyzer is iterative and needs no recursion
+(chains can be thousands of hops deep; Fig. 5's gather chains grow with
+pattern depth and graph diameter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+#: Span kinds that participate in the causal DAG.
+_CAUSAL_KINDS = ("msg", "handle", "batch")
+
+
+@dataclass(frozen=True)
+class PathReport:
+    """The longest causal chain that *ends* in one epoch."""
+
+    epoch: int
+    hops: int  # number of causal edges on the chain
+    wall_seconds: float  # t_end(last span) - t_start(first span)
+    names: tuple  # span names root-first (e.g. msg -> handle -> ...)
+    sids: tuple  # span ids root-first
+    spans_considered: int = 0
+
+    def summary(self) -> str:
+        head = " -> ".join(self.names[:6])
+        tail = "" if len(self.names) <= 6 else f" -> ... ({len(self.names)} spans)"
+        return (
+            f"epoch {self.epoch}: {self.hops} hops, "
+            f"{1e3 * self.wall_seconds:.2f} ms  [{head}{tail}]"
+        )
+
+
+def _causal_spans(spans: Iterable) -> list:
+    return [sp for sp in spans if sp.kind in _CAUSAL_KINDS]
+
+
+def chain_of(spans: Iterable, sid: int) -> list:
+    """Reconstruct the causal chain ending at span ``sid``, root-first.
+
+    Follows ``parent`` edges; for a batch span (many predecessors via
+    ``links``) the first link is taken — chains through batches are
+    representative, not unique.  Iterative; used by the trace-fidelity
+    tests to compare a recorded gather→...→evaluate chain against the
+    planner's step sequence.
+
+    Only causal kinds (msg/handle/batch) participate: a root message's
+    ``parent`` may point at the phase span that was active when it was
+    injected (useful in the timeline view), which is not a causal hop.
+    """
+    by_sid = {sp.sid: sp for sp in _causal_spans(spans)}
+    chain = []
+    cur = by_sid.get(sid)
+    seen = set()
+    while cur is not None and cur.sid not in seen:
+        seen.add(cur.sid)
+        chain.append(cur)
+        nxt = cur.parent
+        if nxt is None and cur.links:
+            nxt = cur.links[0]
+        cur = by_sid.get(nxt) if nxt is not None else None
+    chain.reverse()
+    return chain
+
+
+def critical_paths(spans: Iterable) -> list[PathReport]:
+    """Longest causal chain per epoch (by hop count, ties by wall time).
+
+    A chain is attributed to the epoch of its *final* span.  Returns one
+    :class:`PathReport` per epoch that contains causal spans, ordered by
+    epoch index.
+    """
+    causal = _causal_spans(spans)
+    causal.sort(key=lambda sp: sp.sid)
+    by_sid = {sp.sid: sp for sp in causal}
+    depth: dict[int, int] = {}
+    root_t0: dict[int, float] = {}
+    best_pred: dict[int, Optional[int]] = {}
+    for sp in causal:  # sid order == topological order
+        preds = []
+        if sp.parent is not None and sp.parent in by_sid:
+            preds.append(sp.parent)
+        if sp.links:
+            preds.extend(p for p in sp.links if p in by_sid)
+        if not preds:
+            depth[sp.sid] = 0
+            root_t0[sp.sid] = sp.t0
+            best_pred[sp.sid] = None
+            continue
+        pick = max(preds, key=lambda p: depth[p])
+        depth[sp.sid] = depth[pick] + 1
+        root_t0[sp.sid] = root_t0[pick]
+        best_pred[sp.sid] = pick
+    # -- pick the deepest chain end per epoch --------------------------------
+    ends: dict[int, int] = {}
+    counts: dict[int, int] = {}
+    for sp in causal:
+        counts[sp.epoch] = counts.get(sp.epoch, 0) + 1
+        cur = ends.get(sp.epoch)
+        if cur is None or depth[sp.sid] > depth[cur]:
+            ends[sp.epoch] = sp.sid
+    reports = []
+    for epoch in sorted(ends):
+        end = ends[epoch]
+        sids = []
+        cur: Optional[int] = end
+        while cur is not None:
+            sids.append(cur)
+            cur = best_pred[cur]
+        sids.reverse()
+        last = by_sid[end]
+        t_end = last.t1 if last.t1 is not None else last.t0
+        reports.append(
+            PathReport(
+                epoch=epoch,
+                hops=depth[end],
+                wall_seconds=max(t_end - root_t0[end], 0.0),
+                names=tuple(f"{by_sid[s].kind}:{by_sid[s].name}" for s in sids),
+                sids=tuple(sids),
+                spans_considered=counts[epoch],
+            )
+        )
+    return reports
+
+
+def render_critical_paths(reports: list[PathReport]) -> str:
+    """Human-readable per-epoch critical-path table."""
+    if not reports:
+        return "(no causal spans recorded)"
+    header = f"{'epoch':>5} {'hops':>6} {'wall(ms)':>10} {'spans':>7}  chain"
+    lines = [header, "-" * len(header)]
+    for r in reports:
+        head = " -> ".join(r.names[:4])
+        more = "" if len(r.names) <= 4 else f" -> ...[{len(r.names)}]"
+        lines.append(
+            f"{r.epoch:>5} {r.hops:>6} {1e3 * r.wall_seconds:>10.2f} "
+            f"{r.spans_considered:>7}  {head}{more}"
+        )
+    return "\n".join(lines)

@@ -2,13 +2,25 @@
 
 The paper explains its synthesis with message diagrams (Figs. 5-6); this
 module lets users produce the same view for *their* patterns: a
-:class:`MessageTracer` hooks a machine's wire path, records every
+:class:`MessageTracer` observes a machine's wire path, records every
 envelope (type, source/destination rank, payload size), and renders
 either a chronological log or a per-action hop diagram like::
 
     pat.SSSP.relax: rank 0 --(5 slots)--> rank 1
 
-Tracing is off unless installed; overhead is one list append per message.
+Implementation note: the tracer is a *view over the telemetry hub's wire
+observers* (:meth:`~repro.runtime.telemetry.Telemetry.add_wire_observer`)
+rather than a monkey-patch of ``Transport._wire``.  The old patch-based
+tracer could not be uninstalled, stacked wrappers when installed twice,
+and ``clear()`` forgot its sequence counter and hop record; observers
+give a clean lifecycle: :meth:`install` is idempotent per tracer,
+:meth:`uninstall` restores the machine exactly (including a previously
+installed ``hop_observer``), and multiple tracers coexist without
+wrapping each other.  Works at every telemetry level, including ``off``
+— wire observation is independent of span recording.
+
+Overhead is one list append per wire envelope while installed, zero
+after :meth:`uninstall`.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ class MessageTracer:
         ... run ...
         print(tracer.render_log())
         print(tracer.render_hops("pat.SSSP.relax"))
+        tracer.uninstall()   # machine restored; tracer keeps its record
     """
 
     def __init__(self, machine: Machine) -> None:
@@ -51,27 +64,58 @@ class MessageTracer:
         #: only populated on transports exposing a hop observer.
         self.physical_hops: list[tuple[int, int]] = []
         self._seq = 0
+        self._installed = False
+        self._saved_hop_observer = None
 
     @classmethod
     def install(cls, machine: Machine) -> "MessageTracer":
         tracer = cls(machine)
-        transport = machine.transport
-        original_wire = transport._wire
-
-        def traced_wire(mtype, src, dest, payload, batch=False):
-            tracer._seq += 1
-            slots = (
-                sum(len(p) for p in payload) if batch else len(payload)
-            )
-            tracer.events.append(
-                TraceEvent(tracer._seq, mtype.name, src, dest, slots, batch)
-            )
-            original_wire(mtype, src, dest, payload, batch=batch)
-
-        transport._wire = traced_wire  # type: ignore[method-assign]
-        if hasattr(transport, "hop_observer"):
-            transport.hop_observer = lambda a, b: tracer.physical_hops.append((a, b))
+        tracer.attach()
         return tracer
+
+    # -- lifecycle ------------------------------------------------------------
+    def attach(self) -> "MessageTracer":
+        """Start observing.  Idempotent: attaching twice observes once."""
+        if self._installed:
+            return self
+        self.machine.telemetry.add_wire_observer(self._on_wire)
+        transport = self.machine.transport
+        if hasattr(transport, "hop_observer"):
+            self._saved_hop_observer = transport.hop_observer
+            transport.hop_observer = self._on_hop
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Stop observing and restore the machine's previous state.
+
+        The recorded events stay readable on the tracer; a later
+        :meth:`attach` resumes recording into the same lists.
+        """
+        if not self._installed:
+            return
+        self.machine.telemetry.remove_wire_observer(self._on_wire)
+        transport = self.machine.transport
+        if hasattr(transport, "hop_observer"):
+            transport.hop_observer = self._saved_hop_observer
+            self._saved_hop_observer = None
+        self._installed = False
+
+    @property
+    def installed(self) -> bool:
+        return self._installed
+
+    # -- observation ----------------------------------------------------------
+    def _on_wire(self, mtype, src: int, dest: int, payload: tuple, batch: bool) -> None:
+        self._seq += 1
+        slots = sum(len(p) for p in payload) if batch else len(payload)
+        self.events.append(TraceEvent(self._seq, mtype.name, src, dest, slots, batch))
+
+    def _on_hop(self, a: int, b: int) -> None:
+        self.physical_hops.append((a, b))
+        saved = self._saved_hop_observer
+        if saved is not None:  # chain to whatever was installed before us
+            saved(a, b)
 
     # -- queries ------------------------------------------------------------
     def count(self, mtype: Optional[str] = None, remote_only: bool = False) -> int:
@@ -101,7 +145,11 @@ class MessageTracer:
         return {(e.src, e.dest) for e in self.events if e.remote}
 
     def clear(self) -> None:
+        """Forget everything recorded, including the sequence counter and
+        the physical hop record (the old tracer leaked both)."""
         self.events.clear()
+        self.physical_hops.clear()
+        self._seq = 0
 
     # -- rendering ------------------------------------------------------------
     def render_log(self, limit: int = 50) -> str:

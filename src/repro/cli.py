@@ -61,6 +61,17 @@ def _make_graph(args, *, directed: bool):
     )
 
 
+def _telemetry_level(args) -> str:
+    """The effective telemetry level: explicit flag, auto-upgraded when an
+    output file needs more than the flag provides."""
+    level = getattr(args, "telemetry", "off")
+    if getattr(args, "trace_out", None) and level != "spans":
+        level = "spans"  # a Perfetto trace needs full spans
+    elif getattr(args, "metrics_out", None) and level == "off":
+        level = "counters"  # Prometheus output needs at least counters
+    return level
+
+
 def _machine(args) -> Machine:
     return Machine(
         n_ranks=args.ranks,
@@ -68,7 +79,24 @@ def _machine(args) -> Machine:
         seed=args.seed,
         detector=args.detector,
         routing=args.routing,
+        telemetry=_telemetry_level(args),
     )
+
+
+def _write_outputs(args, machine: Machine) -> None:
+    """Honour --trace-out / --metrics-out after a command ran."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from .analysis import write_chrome_trace
+
+        obj = write_chrome_trace(machine, trace_out)
+        print(f"trace: wrote {len(obj['traceEvents'])} events to {trace_out}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from .analysis import write_prometheus
+
+        text = write_prometheus(machine, metrics_out)
+        print(f"metrics: wrote {len(text.splitlines())} lines to {metrics_out}")
 
 
 def _print_report(name: str, machine: Machine, graph, **extra) -> None:
@@ -101,6 +129,7 @@ def cmd_sssp(args) -> int:
         f"max distance {np.nanmax(np.where(np.isfinite(dist), dist, np.nan)):.3f}"
     )
     _print_report(algo, machine, graph, reachable=reachable)
+    _write_outputs(args, machine)
     return 0
 
 
@@ -113,6 +142,7 @@ def cmd_bfs(args) -> int:
     reachable = int(np.isfinite(depth).sum())
     print(f"bfs: reachable {reachable}/{graph.n_vertices}")
     _print_report("bfs", machine, graph, reachable=reachable)
+    _write_outputs(args, machine)
     return 0
 
 
@@ -130,6 +160,7 @@ def cmd_cc(args) -> int:
         f"collisions {details['collisions']}, jump rounds {details['jump_rounds']}"
     )
     _print_report("cc", machine, graph, components=n_comp)
+    _write_outputs(args, machine)
     return 0
 
 
@@ -142,6 +173,53 @@ def cmd_pagerank(args) -> int:
     top = np.argsort(pr)[::-1][:5]
     print("pagerank top-5:", [(int(v), round(float(pr[v]), 5)) for v in top])
     _print_report("pagerank", machine, graph)
+    _write_outputs(args, machine)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one algorithm with full span telemetry and report causality."""
+    from .analysis import critical_paths, render_critical_paths
+
+    args.telemetry = "spans"  # this subcommand exists to record spans
+    algo = args.algorithm
+    if algo == "sssp":
+        graph, weights = _make_graph(args, directed=True)
+        machine = _machine(args)
+        from .algorithms import sssp_fixed_point
+
+        sssp_fixed_point(machine, graph, weights, args.source)
+    elif algo == "bfs":
+        graph, _ = _make_graph(args, directed=True)
+        machine = _machine(args)
+        from .algorithms import bfs_fixed_point
+
+        bfs_fixed_point(machine, graph, args.source)
+    elif algo == "cc":
+        graph, _ = _make_graph(args, directed=False)
+        machine = _machine(args)
+        from .algorithms import connected_components
+
+        connected_components(machine, graph)
+    else:  # pagerank
+        graph, _ = _make_graph(args, directed=True)
+        machine = _machine(args)
+        from .algorithms import pagerank
+
+        pagerank(machine, graph, iterations=args.iterations)
+
+    tel = machine.telemetry
+    summ = tel.summary()
+    print(
+        f"trace[{algo}]: {summ['spans_recorded']} spans recorded "
+        f"({summ['spans_evicted']} evicted, "
+        f"{summ['traces_sampled_out']} traces sampled out)"
+    )
+    for kind in sorted(summ["by_kind"]):
+        print(f"  {kind:<8} {summ['by_kind'][kind]}")
+    print()
+    print(render_critical_paths(critical_paths(tel.snapshot_spans())))
+    _write_outputs(args, machine)
     return 0
 
 
@@ -219,6 +297,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--cols", type=int, default=16)
         p.add_argument("--w-min", type=float, default=1.0)
         p.add_argument("--w-max", type=float, default=10.0)
+        p.add_argument(
+            "--telemetry",
+            choices=["off", "counters", "spans"],
+            default="off",
+            help="telemetry level (auto-upgraded when --trace-out / "
+            "--metrics-out need more)",
+        )
+        p.add_argument(
+            "--trace-out",
+            default=None,
+            metavar="FILE",
+            help="write a Chrome-trace/Perfetto JSON of the run",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="FILE",
+            help="write Prometheus text metrics of the run",
+        )
 
     p_sssp = sub.add_parser("sssp", help="single-source shortest paths")
     add_common(p_sssp)
@@ -243,6 +340,17 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_pr)
     p_pr.add_argument("--iterations", type=int, default=20)
     p_pr.set_defaults(fn=cmd_pagerank)
+
+    p_trace = sub.add_parser(
+        "trace", help="run an algorithm with span telemetry; report causality"
+    )
+    add_common(p_trace)
+    p_trace.add_argument(
+        "--algorithm", choices=["sssp", "bfs", "cc", "pagerank"], default="sssp"
+    )
+    p_trace.add_argument("--source", type=int, default=0)
+    p_trace.add_argument("--iterations", type=int, default=5)
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_plan = sub.add_parser("plan", help="print a pattern's compiled plan")
     p_plan.add_argument(

@@ -538,6 +538,9 @@ class BoundAction:
                 cands.append(p[cand_pos])
             else:
                 rest.append(p)
+        tel = ctx.machine.telemetry
+        if tel.spans_on:
+            tel.annotate(vectorized=len(dests), fallback=len(rest))
         if dests:
             self._vector_apply(ctx, dests, cands)
             ctx.stats.count_vector_items(self.mtype.name, len(dests))

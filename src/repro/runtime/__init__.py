@@ -22,7 +22,8 @@ from .reliable import (
     ReliableEnvelope,
 )
 from .sim import ROUTINGS, SCHEDULES, SimTransport
-from .stats import EpochStats, StatsRegistry, TypeStats
+from .stats import ChaosStats, EpochStats, StatsRegistry, TypeStats
+from .telemetry import LEVELS, PHASES, Span, Telemetry, TelemetryConfig
 from .termination import (
     DETECTORS,
     FourCounterDetector,
@@ -38,6 +39,7 @@ __all__ = [
     "AddressResolver",
     "CachingLayer",
     "ChaosConfig",
+    "ChaosStats",
     "ChaosTransport",
     "CoalescingLayer",
     "DETECTORS",
@@ -46,6 +48,8 @@ __all__ = [
     "EpochStats",
     "FAULT_KINDS",
     "FaultEvent",
+    "LEVELS",
+    "PHASES",
     "ReliableConfig",
     "ReliableDelivery",
     "ReliableEnvelope",
@@ -60,9 +64,12 @@ __all__ = [
     "SafraDetector",
     "SCHEDULES",
     "SimTransport",
+    "Span",
     "SpmdContext",
     "SpmdEpoch",
     "StatsRegistry",
+    "Telemetry",
+    "TelemetryConfig",
     "ThreadTransport",
     "Transport",
     "TypeStats",

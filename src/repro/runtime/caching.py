@@ -69,12 +69,18 @@ class CachingLayer(Layer):
             return
         if self.admit is not None and not self.admit(payload):
             self.machine.stats.count_cache_hit(self.mtype.name)
+            tel = self.machine.telemetry
+            if tel.spans_on:
+                tel.on_payload_drop(payload, "admit")
             return
         k = self.key(payload)
         cache = self._caches.setdefault((src, dest), OrderedDict())
         if k in cache:
             cache.move_to_end(k)
             self.machine.stats.count_cache_hit(self.mtype.name)
+            tel = self.machine.telemetry
+            if tel.spans_on:
+                tel.on_payload_drop(payload, "cache_hit")
             return
         cache[k] = True
         if len(cache) > self.capacity:

@@ -273,6 +273,20 @@ class ChaosTransport:
         splittable = may_split and batch and len(env.payload) >= 2
         kind, arg = self._fate(splittable, is_ack)
         count = self.stats.count_chaos
+        if kind:
+            tel = self.machine.telemetry
+            if tel.enabled:
+                tel.event(
+                    "fault",
+                    rank=env.dest,
+                    args={
+                        "kind": kind,
+                        "arg": arg,
+                        "tick": self._tick,
+                        "decision": self._decision - 1,
+                        "ack": is_ack,
+                    },
+                )
         if kind == "split":
             if not splittable:  # scripted fault on an ineligible envelope
                 self._admit(env, batch)
@@ -309,9 +323,20 @@ class ChaosTransport:
         if isinstance(env, ReliableEnvelope) and self.reliable is not None:
             self.reliable.retire(env)
         mid = len(inner.payload) // 2
-        for part in (inner.payload[:mid], inner.payload[mid:]):
+        # Batch envelopes carry one trace context per payload; slice the
+        # contexts alongside the payload halves so spans survive the split.
+        tr = getattr(inner, "trace", None)
+        parts = (
+            (inner.payload[:mid], None if tr is None else tr[:mid]),
+            (inner.payload[mid:], None if tr is None else tr[mid:]),
+        )
+        for part, part_tr in parts:
             sub = Envelope(
-                dest=inner.dest, type_id=inner.type_id, payload=part, src=inner.src
+                dest=inner.dest,
+                type_id=inner.type_id,
+                payload=part,
+                src=inner.src,
+                trace=part_tr,
             )
             if self.reliable is not None:
                 sub = self.reliable.wrap(sub, batch, self._tick)
@@ -358,8 +383,19 @@ class ChaosTransport:
             _, _, env, batch = heapq.heappop(self._limbo)
             self._admit(env, batch)
         if self.reliable is not None and self.reliable.has_unacked():
+            tel = self.machine.telemetry
             for renv, batch in self.reliable.due_retries(self._tick):
                 self.stats.count_chaos("retries")
+                if tel.enabled:
+                    tel.event(
+                        "retry",
+                        rank=renv.dest,
+                        args={
+                            "tick": self._tick,
+                            "channel": list(renv.channel),
+                            "seq": renv.seq,
+                        },
+                    )
                 self._offer(renv, batch)
 
     def _next_event_tick(self) -> Optional[int]:

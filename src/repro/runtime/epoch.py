@@ -45,13 +45,16 @@ class Epoch:
             raise RuntimeError("epochs do not nest")
         self.machine._active_epoch = self
         self.machine.stats.begin_epoch()
+        self.machine.telemetry.epoch_begin()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.machine._active_epoch = None
         if exc_type is not None:
+            self.machine.telemetry.epoch_end()
             return  # propagate; don't try to finish a failed epoch
         self.machine.transport.finish_epoch(self.machine.detector)
+        self.machine.telemetry.epoch_end()
         self._account_control()
         self.result_stats = self.machine.stats.end_epoch()
         self.finished = True
@@ -79,7 +82,11 @@ class Epoch:
         """
         # Control-message cost is folded into epoch stats at epoch exit
         # (see _account_control), so a probe here is not double-counted.
-        return self.machine.detector.probe()
+        tel = self.machine.telemetry
+        if not tel.enabled:
+            return self.machine.detector.probe()
+        with tel.phase("probe"):
+            return self.machine.detector.probe()
 
     def _account_control(self) -> None:
         det = self.machine.detector

@@ -42,6 +42,7 @@ from .reductions import ReductionLayer
 from .reliable import ReliableConfig, ReliableDelivery
 from .sim import SimTransport
 from .stats import StatsRegistry
+from .telemetry import Telemetry, TelemetryConfig, make_telemetry
 from .termination import make_detector
 from .threads import ThreadTransport
 from .transport import HandlerContext
@@ -68,6 +69,7 @@ class Machine:
         fast_path: str = "compiled",
         chaos: Optional[ChaosConfig] = None,
         reliable: Union[ReliableConfig, bool, None] = None,
+        telemetry: Union[str, TelemetryConfig, None] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
@@ -85,6 +87,9 @@ class Machine:
         self.registry = MessageRegistry()
         self.resolver = AddressResolver(n_ranks)
         self.stats = StatsRegistry()
+        #: Causal telemetry hub (docs/OBSERVABILITY.md).  Always present;
+        #: its level ("off" | "counters" | "spans") decides what it records.
+        self.telemetry: Telemetry = make_telemetry(self, telemetry)
         self._active_epoch: Optional[Epoch] = None
         self.graph = None  # set by attach_graph
         if transport == "sim":
@@ -188,7 +193,12 @@ class Machine:
         Models the SPMD driver invoking an action for a vertex it owns, so
         it is counted as a local post (``src = -1``), never a network hop.
         """
-        self.transport.send(-1, mtype, payload, dest)
+        tel = self.telemetry
+        if not tel.enabled:
+            self.transport.send(-1, mtype, payload, dest)
+            return
+        with tel.phase("inject"):
+            self.transport.send(-1, mtype, payload, dest)
 
     def drain(self) -> int:
         """Run all pending work outside an epoch (testing convenience)."""
@@ -291,6 +301,7 @@ class SpmdEpoch:
         self.ctx.barrier()
         if self.ctx.rank == 0:
             self.ctx.machine.stats.begin_epoch()
+            self.ctx.machine.telemetry.epoch_begin()
         self.ctx.barrier()
         return self
 
@@ -300,6 +311,7 @@ class SpmdEpoch:
         self.ctx.barrier()  # everyone stopped producing driver-level work
         if self.ctx.rank == 0:
             self.ctx.machine.transport.finish_epoch(self.ctx.machine.detector)
+            self.ctx.machine.telemetry.epoch_end()
             self.ctx.machine.stats.end_epoch()
         self.ctx.barrier()  # quiescence proven; all ranks may proceed
 

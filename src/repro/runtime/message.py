@@ -21,12 +21,20 @@ Handler = Callable[["HandlerContext", tuple], None]  # noqa: F821  (defined in t
 
 @dataclass(frozen=True)
 class Envelope:
-    """One in-flight message: destination rank, type, payload tuple."""
+    """One in-flight message: destination rank, type, payload tuple.
+
+    ``trace`` is the telemetry side slot: the message's
+    :class:`~repro.runtime.telemetry.Span` (scalar envelopes) or a tuple
+    of per-payload spans (coalesced envelopes), attached at wire time
+    when span tracing is on.  It is excluded from equality/repr so
+    traced and untraced runs compare envelopes identically.
+    """
 
     dest: int
     type_id: int
     payload: tuple
     src: int = -1  # -1 means injected by the driver, not a handler
+    trace: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def slots(self) -> int:
         return len(self.payload)

@@ -81,8 +81,12 @@ class ReductionLayer(Layer):
         buf = self._buffers.setdefault((src, dest), {})
         k = self.key(payload)
         if k in buf:
-            buf[k] = self.combine(buf[k], payload)
+            old = buf[k]
+            buf[k] = self.combine(old, payload)
             self.machine.stats.count_reduction(self.mtype.name)
+            tel = self.machine.telemetry
+            if tel.spans_on:
+                tel.on_payload_combine(buf[k], old, payload)
         else:
             buf[k] = payload
             if len(buf) >= self.window:

@@ -110,6 +110,13 @@ class ReliableEnvelope:
     def payload(self) -> tuple:
         return self.env.payload
 
+    @property
+    def trace(self):
+        """Telemetry span context rides with the wrapped envelope, so a
+        retransmitted copy still attributes its delivery to the original
+        logical message span."""
+        return getattr(self.env, "trace", None)
+
     def slots(self) -> int:
         return self.env.slots()
 
@@ -123,6 +130,7 @@ class AckEnvelope:
     __slots__ = ("dest", "src", "channel", "seq")
     type_id = ACK_TYPE_ID
     payload: tuple = ()
+    trace = None  # acks are control traffic; never traced as logical msgs
 
     def __init__(self, dest: int, src: int, channel: tuple, seq: int) -> None:
         self.dest = dest

@@ -164,6 +164,13 @@ class SimTransport(Transport):
         ``RuntimeError`` when exceeded — a guard against diverging
         fixed-point algorithms in tests.
         """
+        tel = self.machine.telemetry
+        if not tel.enabled:
+            return self._drain(budget)
+        with tel.phase("drain"):
+            return self._drain(budget)
+
+    def _drain(self, budget: Optional[int] = None) -> int:
         ran = 0
         limit = budget if budget is not None else self._max_handlers
         while True:

@@ -121,6 +121,13 @@ class ThreadTransport(Transport):
     # -- progress / quiescence ------------------------------------------------------
     def drain(self, timeout: Optional[float] = None) -> int:
         """Block until quiescence (all enqueued handled, buffers empty)."""
+        tel = self.machine.telemetry
+        if not tel.enabled:
+            return self._drain(timeout)
+        with tel.phase("drain"):
+            return self._drain(timeout)
+
+    def _drain(self, timeout: Optional[float] = None) -> int:
         self.start()
         start_completed = self._completed
         waited = 0.0
@@ -157,7 +164,14 @@ class ThreadTransport(Transport):
         # The locked double-check in drain() already proves quiescence for
         # this transport; run the installed detector's probe too so its
         # control cost is observable when a non-oracle detector is chosen.
+        tel = self.machine.telemetry
         while True:
             self.drain()
-            if detector.probe():
-                return
+            if not tel.enabled:
+                if detector.probe():
+                    return
+            else:
+                with tel.phase("probe"):
+                    proven = detector.probe()
+                if proven:
+                    return

@@ -94,6 +94,11 @@ class Transport:
         if isinstance(mtype, str):
             mtype = self.machine.registry.by_name(mtype)
         resolved = self.machine.resolver.resolve(mtype, payload, dest)
+        tel = self.machine.telemetry
+        if tel.spans_on:
+            # One logical message = one span; context survives the layer
+            # stack via the pending-payload table until wire time.
+            tel.on_send(mtype, src, resolved, payload)
         self._send_through(mtype, 0, src, resolved, payload)
 
     def _send_through(
@@ -125,7 +130,18 @@ class Transport:
         # Driver-injected sends (src == -1) are attributed to the destination
         # rank so termination balances stay consistent (sum == in-flight).
         self.machine.detector.on_send(src if src >= 0 else dest)
-        env = Envelope(dest=dest, type_id=mtype.type_id, payload=payload, src=src)
+        tel = self.machine.telemetry
+        if tel.wire_obs:
+            tel.notify_wire(mtype, src, dest, payload, batch)
+        trace = None
+        if tel.spans_on:
+            if batch:
+                trace = tuple(tel.wire_context(p) for p in payload)
+            else:
+                trace = tel.wire_context(payload)
+        env = Envelope(
+            dest=dest, type_id=mtype.type_id, payload=payload, src=src, trace=trace
+        )
         self._enqueue(env, batch=batch)
 
     def wire_batch(self, mtype: MessageType, src: int, dest: int, payloads: tuple) -> None:
@@ -138,6 +154,13 @@ class Transport:
 
     def flush_layers(self, mtype_filter=None) -> int:
         """Flush all buffering layers on all types; returns items flushed."""
+        tel = self.machine.telemetry
+        if not tel.enabled:
+            return self._flush_layers(mtype_filter)
+        with tel.phase("flush"):
+            return self._flush_layers(mtype_filter)
+
+    def _flush_layers(self, mtype_filter=None) -> int:
         flushed = 0
         for mtype in self.machine.registry:
             if mtype_filter is not None and mtype is not mtype_filter:
@@ -169,6 +192,12 @@ class Transport:
         Either way, handler-call counts reflect the number of *logical*
         payloads so the paper's message-cost model is unchanged.
         """
+        tel = self.machine.telemetry
+        if tel.spans_on:
+            # Traced twin: same stats/detector/handler sequence, plus
+            # handle/batch spans parented on the delivered msg spans.
+            tel.deliver(self, env, batch)
+            return
         mtype = self.machine.registry.by_id(env.type_id)
         ctx = self.context_for(env.dest)
         stats = self.machine.stats
@@ -207,10 +236,17 @@ class Transport:
 
     def finish_epoch(self, detector) -> None:
         """Drain and run the termination protocol until quiescence is proven."""
+        tel = self.machine.telemetry
         while True:
             self.drain()
-            if detector.probe():
-                return
+            if not tel.enabled:
+                if detector.probe():
+                    return
+            else:
+                with tel.phase("probe"):
+                    proven = detector.probe()
+                if proven:
+                    return
 
     def shutdown(self) -> None:  # pragma: no cover - trivial default
         """Release transport resources (threads, queues)."""

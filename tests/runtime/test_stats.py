@@ -1,7 +1,17 @@
 """Statistics registry: counters, epochs, reporting."""
 
+import dataclasses
+
 from repro import Machine
 from repro.runtime.stats import EpochStats, StatsRegistry, TypeStats
+
+
+def _distinct(cls):
+    """An instance with every dataclass field set to a distinct value."""
+    kw = {}
+    for i, f in enumerate(dataclasses.fields(cls)):
+        kw[f.name] = float(i + 1) if f.type == "float" else i + 1
+    return cls(**kw), kw
 
 
 class TestTypeStats:
@@ -23,6 +33,33 @@ class TestTypeStats:
         snap = a.snapshot()
         a.sent_remote = 99
         assert snap.sent_remote == 2
+
+    def test_merge_covers_every_field(self):
+        """merge() must accumulate EVERY dataclass field.
+
+        Built by reflection over ``dataclasses.fields`` so that adding a
+        counter to TypeStats without merging it fails here, not silently
+        in aggregated reports.
+        """
+        a, kw = _distinct(TypeStats)
+        b, _ = _distinct(TypeStats)
+        a.merge(b)
+        for f in dataclasses.fields(TypeStats):
+            if f.metadata.get("merge", True):
+                assert getattr(a, f.name) == 2 * kw[f.name], f.name
+            else:  # opted-out fields keep their own value
+                assert getattr(a, f.name) == kw[f.name], f.name
+
+    def test_snapshot_covers_every_field(self):
+        a, kw = _distinct(TypeStats)
+        snap = a.snapshot()
+        for f in dataclasses.fields(TypeStats):
+            assert getattr(snap, f.name) == kw[f.name], f.name
+        # mutating the original never leaks into the snapshot
+        for f in dataclasses.fields(TypeStats):
+            setattr(a, f.name, -1)
+        for f in dataclasses.fields(TypeStats):
+            assert getattr(snap, f.name) == kw[f.name], f.name
 
 
 class TestRegistry:

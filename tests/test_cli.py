@@ -66,6 +66,63 @@ class TestCommands:
             assert main(["bfs", *gen_args]) == 0
             capsys.readouterr()
 
+    def test_trace_subcommand(self, capsys):
+        assert main(["trace", "--algorithm", "bfs", "--n", "40", "--m", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "trace[bfs]:" in out and "spans recorded" in out
+        assert "epoch" in out and "hops" in out  # critical-path table
+
+    def test_trace_all_algorithms(self, capsys):
+        for algo in ("sssp", "cc", "pagerank"):
+            assert (
+                main(["trace", "--algorithm", algo, "--n", "40", "--m", "80",
+                      "--iterations", "3"])
+                == 0
+            )
+            assert f"trace[{algo}]:" in capsys.readouterr().out
+
+    def test_trace_out_writes_valid_perfetto(self, tmp_path, capsys):
+        """--trace-out auto-upgrades telemetry and writes a valid trace."""
+        import json
+
+        from repro.analysis import validate_chrome_trace
+
+        out = tmp_path / "sssp.json"
+        assert (
+            main(["sssp", "--n", "40", "--m", "120", "--trace-out", str(out)])
+            == 0
+        )
+        assert "trace: wrote" in capsys.readouterr().out
+        obj = json.loads(out.read_text())
+        assert validate_chrome_trace(obj) == []
+        assert obj["traceEvents"]  # non-trivial
+
+    def test_metrics_out_lints_clean(self, tmp_path, capsys):
+        from repro.analysis import parse_prometheus
+
+        out = tmp_path / "m.prom"
+        assert (
+            main(["bfs", "--n", "40", "--m", "120", "--metrics-out", str(out)])
+            == 0
+        )
+        assert "metrics: wrote" in capsys.readouterr().out
+        samples, errors = parse_prometheus(out.read_text())
+        assert errors == []
+        assert ("repro_epochs", frozenset()) in samples
+
+    def test_explicit_telemetry_level_respected(self, tmp_path, capsys):
+        """--telemetry spans + --metrics-out: level is not downgraded."""
+        out = tmp_path / "m.prom"
+        assert (
+            main(["cc", "--n", "40", "--m", "60", "--telemetry", "spans",
+                  "--metrics-out", str(out)])
+            == 0
+        )
+        text = out.read_text()
+        # spans level records phase counters too
+        assert "repro_phase_seconds" in text
+        capsys.readouterr()
+
     def test_machine_options(self, capsys):
         assert (
             main(
