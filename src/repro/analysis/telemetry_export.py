@@ -285,6 +285,22 @@ def to_prometheus(machine) -> str:
         w.declare(metric, "counter", f"ChaosStats.{fld.name}")
         w.sample(metric, {}, getattr(stats.chaos, fld.name))
 
+    # -- checkpoint / recovery (reflective over CheckpointStats) -------------
+    for fld in dataclasses.fields(stats.checkpoint):
+        metric = f"repro_checkpoint_{fld.name}"
+        w.declare(metric, "counter", f"CheckpointStats.{fld.name}")
+        w.sample(metric, {}, getattr(stats.checkpoint, fld.name))
+    w.declare(
+        "repro_checkpoint_dirty_fraction",
+        "gauge",
+        "fraction of visited chunks re-encoded at capture time",
+    )
+    w.sample(
+        "repro_checkpoint_dirty_fraction",
+        {},
+        f"{stats.checkpoint.dirty_fraction:.9f}",
+    )
+
     # -- telemetry phase counters --------------------------------------------
     counters = tel.counters_snapshot()
     if counters:

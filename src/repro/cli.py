@@ -72,15 +72,62 @@ def _telemetry_level(args) -> str:
     return level
 
 
+def _parse_crash(spec: str):
+    """``RANK:TICK`` -> ChaosConfig scheduling that crash."""
+    from .runtime import ChaosConfig
+
+    try:
+        rank_s, tick_s = spec.split(":")
+        return ChaosConfig(crash_rank=int(rank_s), crash_tick=int(tick_s))
+    except ValueError as exc:
+        raise SystemExit(f"--crash expects RANK:TICK, got {spec!r} ({exc})")
+
+
 def _machine(args) -> Machine:
-    return Machine(
+    crash = getattr(args, "crash", None)
+    chaos = _parse_crash(crash) if crash else None
+    checkpoint = None
+    every = getattr(args, "checkpoint_every", None)
+    ckpt_dir = getattr(args, "checkpoint_dir", None)
+    restore_from = getattr(args, "restore_from", None)
+    if every or ckpt_dir or crash or restore_from:
+        from .runtime import CheckpointConfig
+
+        checkpoint = CheckpointConfig(every=every or 1, path=ckpt_dir)
+    machine = Machine(
         n_ranks=args.ranks,
         schedule=args.schedule,
         seed=args.seed,
         detector=args.detector,
         routing=args.routing,
         telemetry=_telemetry_level(args),
+        chaos=chaos,
+        checkpoint=checkpoint,
     )
+    if restore_from:
+        machine.checkpoints.load(restore_from)
+        machine.checkpoints.restore()
+        latest = machine.checkpoints.latest()
+        print(
+            f"restore: resumed from checkpoint #{latest.index} "
+            f"(epoch {latest.epoch}) in {restore_from}"
+        )
+    return machine
+
+
+def _run_maybe_recovering(args, machine: Machine, fn):
+    """Run ``fn``; with a scheduled --crash, recover through it."""
+    if getattr(args, "crash", None):
+        from .runtime import run_with_recovery
+
+        return run_with_recovery(machine, fn)
+    return fn()
+
+
+def _print_checkpoint_report(machine: Machine) -> None:
+    if machine.checkpoints is not None and machine.stats.checkpoint.snapshots:
+        print()
+        print(machine.stats.checkpoint_report())
 
 
 def _write_outputs(args, machine: Machine) -> None:
@@ -116,19 +163,25 @@ def cmd_sssp(args) -> int:
     if args.delta is not None:
         from .algorithms import sssp_delta_stepping
 
-        dist = sssp_delta_stepping(machine, graph, weights, source, args.delta)
+        def run():
+            return sssp_delta_stepping(machine, graph, weights, source, args.delta)
+
         algo = f"sssp-delta({args.delta})"
     else:
         from .algorithms import sssp_fixed_point
 
-        dist = sssp_fixed_point(machine, graph, weights, source)
+        def run():
+            return sssp_fixed_point(machine, graph, weights, source)
+
         algo = "sssp-fixed-point"
+    dist = _run_maybe_recovering(args, machine, run)
     reachable = int(np.isfinite(dist).sum())
     print(
         f"{algo}: source {source}, reachable {reachable}/{graph.n_vertices}, "
         f"max distance {np.nanmax(np.where(np.isfinite(dist), dist, np.nan)):.3f}"
     )
     _print_report(algo, machine, graph, reachable=reachable)
+    _print_checkpoint_report(machine)
     _write_outputs(args, machine)
     return 0
 
@@ -220,6 +273,24 @@ def cmd_trace(args) -> int:
     print()
     print(render_critical_paths(critical_paths(tel.snapshot_spans())))
     _write_outputs(args, machine)
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    """Inspect a persisted checkpoint directory."""
+    from .runtime.checkpoint import describe_checkpoint_dir
+
+    info = describe_checkpoint_dir(args.dir)
+    print(f"checkpoint dir: {info['path']}")
+    print(f"blobs: {info['blobs']} ({info['blob_bytes']} bytes)")
+    rows = info["checkpoints"]
+    print(f"checkpoints: {len(rows)}")
+    for row in rows:
+        kind = "full" if row["full"] else "incr"
+        print(
+            f"  #{row['index']:<3} epoch {row['epoch']:<4} {kind} "
+            f"maps={row['maps']} states={row['states']} chunks={row['chunks']}"
+        )
     return 0
 
 
@@ -316,6 +387,26 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="FILE",
             help="write Prometheus text metrics of the run",
         )
+        p.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=None,
+            metavar="N",
+            help="snapshot every N epochs (enables checkpointing)",
+        )
+        p.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            metavar="DIR",
+            help="persist checkpoints to DIR (enables checkpointing)",
+        )
+        p.add_argument(
+            "--crash",
+            default=None,
+            metavar="RANK:TICK",
+            help="inject a rank crash at the given transport tick and "
+            "recover from the latest checkpoint",
+        )
 
     p_sssp = sub.add_parser("sssp", help="single-source shortest paths")
     add_common(p_sssp)
@@ -324,6 +415,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--auto-source", action="store_true", help="use the max-degree vertex"
     )
     p_sssp.add_argument("--delta", type=float, default=None)
+    p_sssp.add_argument(
+        "--restore-from",
+        default=None,
+        metavar="DIR",
+        help="resume from the latest checkpoint persisted in DIR",
+    )
     p_sssp.set_defaults(fn=cmd_sssp)
 
     p_bfs = sub.add_parser("bfs", help="breadth-first search")
@@ -351,6 +448,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--source", type=int, default=0)
     p_trace.add_argument("--iterations", type=int, default=5)
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_ckpt = sub.add_parser(
+        "checkpoint", help="inspect a persisted checkpoint directory"
+    )
+    p_ckpt.add_argument("dir", help="checkpoint directory to describe")
+    p_ckpt.set_defaults(fn=cmd_checkpoint)
 
     p_plan = sub.add_parser("plan", help="print a pattern's compiled plan")
     p_plan.add_argument(

@@ -631,6 +631,13 @@ class BoundPattern:
                 self.maps[name] = EdgePropertyMap(
                     graph, decl.dtype, default, name=name
                 )
+        # Checkpointing: every map the pattern touches (created here or
+        # supplied via props) is part of the algorithm state; register it
+        # so epoch-aligned snapshots capture the full union.
+        ckpts = getattr(machine, "checkpoints", None)
+        if ckpts is not None:
+            for pm in self.maps.values():
+                ckpts.register_map(pm)
         self.actions: dict[str, BoundAction] = {}
         for name, action in pattern.actions.items():
             plan = compile_action(action, mode)

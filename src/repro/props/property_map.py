@@ -67,6 +67,10 @@ class VertexPropertyMap:
             _make_storage(graph.partition.rank_size(r), dtype, default)
             for r in range(graph.n_ranks)
         ]
+        #: Optional :class:`~repro.runtime.checkpoint.DirtyTracker`
+        #: installed by a CheckpointManager; every write path marks the
+        #: chunks it touches so incremental snapshots skip clean ones.
+        self.dirty = None
 
     # -- locality checks -----------------------------------------------------
     def _locate(self, v: int, rank: Optional[int], writing: bool) -> tuple[int, int]:
@@ -89,6 +93,8 @@ class VertexPropertyMap:
     def set(self, v: int, value, rank: Optional[int] = None) -> None:
         owner, local = self._locate(v, rank, writing=True)
         self._slices[owner][local] = value
+        if self.dirty is not None:
+            self.dirty.mark(owner, local)
 
     def __getitem__(self, v: int):
         return self.get(v)
@@ -104,6 +110,8 @@ class VertexPropertyMap:
             else:
                 for i in range(len(s)):
                     s[i] = value
+        if self.dirty is not None:
+            self.dirty.mark_all()
 
     def to_array(self):
         """Gather all values into one global array/list ordered by vertex id."""
@@ -130,10 +138,21 @@ class VertexPropertyMap:
             else:
                 for i, g in enumerate(globals_):
                     s[i] = values[int(g)]
+        if self.dirty is not None:
+            self.dirty.mark_all()
 
     def local_slice(self, rank: int):
         """This rank's raw storage (handler-side bulk operations)."""
         return self._slices[rank]
+
+    def reset_rank(self, rank: int) -> None:
+        """Re-initialize one rank's storage to defaults (its memory is
+        gone — used by crash recovery before a checkpoint restore)."""
+        self._slices[rank] = _make_storage(
+            self.graph.partition.rank_size(rank), self.dtype, self.default
+        )
+        if self.dirty is not None:
+            self.dirty.mark_all(rank)
 
     def scatter_extremum(
         self, rank: int, local_idx: np.ndarray, values: np.ndarray, *, minimize: bool = True
@@ -155,6 +174,8 @@ class VertexPropertyMap:
         """
         arr = self._slices[rank]
         before = arr[local_idx]  # fancy indexing copies
+        if self.dirty is not None:
+            self.dirty.mark_array(rank, local_idx)
         if minimize:
             np.minimum.at(arr, local_idx, values)
             return arr[local_idx] < before
@@ -189,6 +210,8 @@ class EdgePropertyMap:
             _make_storage(graph.locals[r].n_edges, dtype, default)
             for r in range(graph.n_ranks)
         ]
+        #: Optional dirty tracker (see :class:`VertexPropertyMap.dirty`).
+        self.dirty = None
 
     def _locate(self, gid: int, rank: Optional[int], writing: bool) -> tuple[int, int]:
         owner, local = self.graph.edge_local_index(gid)
@@ -218,6 +241,8 @@ class EdgePropertyMap:
     def set(self, gid: int, value, rank: Optional[int] = None) -> None:
         owner, local = self._locate(gid, rank, writing=True)
         self._slices[owner][local] = value
+        if self.dirty is not None:
+            self.dirty.mark(owner, local)
 
     def __getitem__(self, gid: int):
         return self.get(gid)
@@ -232,6 +257,8 @@ class EdgePropertyMap:
             else:
                 for i in range(len(s)):
                     s[i] = value
+        if self.dirty is not None:
+            self.dirty.mark_all()
 
     def to_array(self):
         if self.dtype is object or self.dtype == "object":
@@ -257,9 +284,19 @@ class EdgePropertyMap:
             else:
                 for i in range(len(s)):
                     s[i] = vals[base + i]
+        if self.dirty is not None:
+            self.dirty.mark_all()
 
     def local_slice(self, rank: int):
         return self._slices[rank]
+
+    def reset_rank(self, rank: int) -> None:
+        """Re-initialize one rank's storage to defaults (crash recovery)."""
+        self._slices[rank] = _make_storage(
+            self.graph.locals[rank].n_edges, self.dtype, self.default
+        )
+        if self.dirty is not None:
+            self.dirty.mark_all(rank)
 
     def __len__(self) -> int:
         return self.graph.n_edges

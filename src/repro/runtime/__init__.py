@@ -2,17 +2,36 @@
 
 See DESIGN.md Sec. 2-3: this package provides typed active messages with
 handler re-entry, object-based addressing, coalescing/caching/reduction
-layers, epochs with real termination-detection protocols, and two
-transports (deterministic simulation and real threads).
+layers, epochs with real termination-detection protocols, two transports
+(deterministic simulation and real threads), seeded fault injection with
+reliable delivery, causal telemetry, and epoch-consistent
+checkpoint/recovery (docs/RECOVERY.md).
 """
 
 from .addressing import AddressResolver, vertex_at
 from .caching import CachingLayer
 from .chaos import FAULT_KINDS, ChaosConfig, ChaosTransport, FaultEvent, derive_rng
+from .checkpoint import (
+    BlobStore,
+    Checkpoint,
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointManager,
+    DirtyTracker,
+    describe_checkpoint_dir,
+    stable_dumps,
+    stable_loads,
+)
 from .coalescing import CoalescingLayer
 from .epoch import Epoch
 from .machine import Machine, SpmdContext, SpmdEpoch
 from .message import Envelope, MessageType
+from .recovery import (
+    RankCrashed,
+    RecoveryCoordinator,
+    RecoveryError,
+    run_with_recovery,
+)
 from .reductions import ReductionLayer, max_payload, min_payload, sum_payload
 from .reliable import (
     ACK_TYPE_ID,
@@ -22,7 +41,13 @@ from .reliable import (
     ReliableEnvelope,
 )
 from .sim import ROUTINGS, SCHEDULES, SimTransport
-from .stats import ChaosStats, EpochStats, StatsRegistry, TypeStats
+from .stats import (
+    ChaosStats,
+    CheckpointStats,
+    EpochStats,
+    StatsRegistry,
+    TypeStats,
+)
 from .telemetry import LEVELS, PHASES, Span, Telemetry, TelemetryConfig
 from .termination import (
     DETECTORS,
@@ -37,12 +62,19 @@ __all__ = [
     "ACK_TYPE_ID",
     "AckEnvelope",
     "AddressResolver",
+    "BlobStore",
     "CachingLayer",
     "ChaosConfig",
     "ChaosStats",
     "ChaosTransport",
+    "Checkpoint",
+    "CheckpointConfig",
+    "CheckpointError",
+    "CheckpointManager",
+    "CheckpointStats",
     "CoalescingLayer",
     "DETECTORS",
+    "DirtyTracker",
     "Envelope",
     "Epoch",
     "EpochStats",
@@ -50,10 +82,14 @@ __all__ = [
     "FaultEvent",
     "LEVELS",
     "PHASES",
+    "RankCrashed",
+    "RecoveryCoordinator",
+    "RecoveryError",
     "ReliableConfig",
     "ReliableDelivery",
     "ReliableEnvelope",
     "derive_rng",
+    "describe_checkpoint_dir",
     "FourCounterDetector",
     "HandlerContext",
     "Machine",
@@ -75,6 +111,9 @@ __all__ = [
     "TypeStats",
     "max_payload",
     "min_payload",
+    "run_with_recovery",
+    "stable_dumps",
+    "stable_loads",
     "sum_payload",
     "vertex_at",
 ]

@@ -45,6 +45,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .message import Envelope
+from .recovery import RankCrashed
 from .reliable import (
     ACK_TYPE_ID,
     AckEnvelope,
@@ -53,7 +54,7 @@ from .reliable import (
 )
 
 #: Fault kinds a :class:`FaultEvent` may carry.
-FAULT_KINDS = ("drop", "duplicate", "delay", "reorder", "split")
+FAULT_KINDS = ("drop", "duplicate", "delay", "reorder", "split", "crash")
 
 
 def derive_rng(seed, label: str) -> random.Random:
@@ -73,8 +74,12 @@ def derive_rng(seed, label: str) -> random.Random:
 class FaultEvent:
     """One injected fault: the ``index``-th wire decision got ``kind``.
 
-    ``arg`` carries the hold-back in ticks for ``delay`` / ``reorder``;
-    it is unused for the other kinds.  Traces are replayable via
+    ``arg`` carries the hold-back in ticks for ``delay`` / ``reorder``
+    and the dying rank for ``crash``; it is unused for the other kinds.
+    ``crash`` events are keyed by **tick**, not wire-decision index —
+    a crash fires at a tick boundary and never consumes a decision, so
+    replaying a trace with crashes reproduces the exact same fate draws
+    for every other fault.  Traces are replayable via
     ``ChaosConfig(script=...)`` and are what the shrinker minimizes.
     """
 
@@ -85,6 +90,10 @@ class FaultEvent:
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; pick from {FAULT_KINDS}")
+        if self.kind == "crash" and self.arg < 0:
+            raise ValueError(
+                f"crash fault arg={self.arg}: must name the dying rank (>= 0)"
+            )
 
 
 @dataclass(frozen=True)
@@ -97,9 +106,17 @@ class ChaosConfig:
     until the stall window closes (``stall_period == 0`` means a single
     stall at the start of the run).
 
+    ``crash_rank``/``crash_tick`` schedule a one-shot **rank crash**:
+    when the chaos clock reaches ``crash_tick`` the transport raises
+    :class:`~repro.runtime.recovery.RankCrashed` for ``crash_rank``,
+    dumping that rank's mailbox — recovery (or the test harness) takes
+    it from there.  Both must be set together; the crash fires at most
+    once per run even across checkpoint rollbacks.
+
     ``script`` replaces the random fate draw entirely: decision ``i``
     gets the scripted fault if ``i`` appears in the script, and no fault
-    otherwise.  Used for replay and shrinking.
+    otherwise (``crash`` entries are keyed by tick instead and coexist
+    with probabilistic faults).  Used for replay and shrinking.
     """
 
     seed: int = 0
@@ -113,6 +130,8 @@ class ChaosConfig:
     stall_rank: int = -1
     stall_period: int = 0
     stall_ticks: int = 0
+    crash_rank: int = -1
+    crash_tick: int = -1
     drop_acks: bool = True
     script: Optional[tuple[FaultEvent, ...]] = None
 
@@ -131,6 +150,17 @@ class ChaosConfig:
             raise ValueError("stall_period/stall_ticks must be >= 0")
         if self.stall_period and self.stall_ticks >= self.stall_period:
             raise ValueError("stall_ticks must be < stall_period (the rank must wake)")
+        if (self.crash_rank >= 0) != (self.crash_tick >= 0):
+            raise ValueError(
+                "crash_rank and crash_tick must be set together "
+                f"(got crash_rank={self.crash_rank}, crash_tick={self.crash_tick}); "
+                "a crash needs both a victim and a time"
+            )
+        if self.crash_tick == 0:
+            raise ValueError(
+                "crash_tick must be >= 1: tick 0 is before the first wire "
+                "decision, so there is no run to crash"
+            )
 
     @property
     def lossy(self) -> bool:
@@ -147,6 +177,7 @@ class ChaosConfig:
             or self.reorder > 0
             or self.split > 0
             or (self.stall_rank >= 0 and self.stall_ticks > 0)
+            or self.crash_rank >= 0
             or bool(self.script)
         )
 
@@ -174,11 +205,39 @@ class ChaosTransport:
         self.reliable = reliable
         self.stats = self.machine.stats
         self._rng = derive_rng(self.config.seed, "chaos")
+        # Crash events are keyed by tick, every other kind by decision
+        # index; split the script so a scripted crash can never collide
+        # with (or perturb) a scripted wire fault.
+        script = self.config.script
         self._script = (
             None
-            if self.config.script is None
-            else {e.index: e for e in self.config.script}
+            if script is None
+            else {e.index: e for e in script if e.kind != "crash"}
         )
+        self._script_crashes = (
+            [] if script is None else [e for e in script if e.kind == "crash"]
+        )
+        n_ranks = self.machine.n_ranks
+        for ev in self._script_crashes:
+            if ev.arg >= n_ranks:
+                raise ValueError(
+                    f"scripted crash names rank {ev.arg}, but the machine "
+                    f"has only {n_ranks} ranks"
+                )
+        if self.config.crash_rank >= n_ranks:
+            raise ValueError(
+                f"crash_rank={self.config.crash_rank}, but the machine has "
+                f"only {n_ranks} ranks"
+            )
+        self._has_crash = bool(self._script_crashes) or self.config.crash_rank >= 0
+        #: Ranks currently dead (crashed, not yet revived by recovery).
+        self.dead_ranks: set[int] = set()
+        # One-shot per crash event: deliberately NOT part of
+        # checkpoint_state, so a rolled-back clock cannot re-fire the
+        # same crash forever; distinct scripted crashes each still get
+        # their single shot (multi-crash recovery scenarios).
+        self._config_crash_fired = False
+        self._script_crashes_fired: set[int] = set()
         #: Every injected fault, in decision order.  Replayable.
         self.trace: list[FaultEvent] = []
         self._decision = 0
@@ -398,6 +457,99 @@ class ChaosTransport:
                     )
                 self._offer(renv, batch)
 
+    # -- crashes --------------------------------------------------------------
+    def _maybe_crash(self) -> None:
+        """Fire a scheduled rank crash once its tick is reached.
+
+        Crashes fire at tick boundaries and never consume a wire
+        decision or an RNG draw, so a run with a crash scheduled sees
+        byte-identical fault fates for every other decision.  One-shot:
+        fired-crash flags survive checkpoint rollback on purpose, so a
+        restored clock cannot re-fire the same crash forever.
+        """
+        if not self._has_crash:
+            return
+        cfg = self.config
+        ev: Optional[FaultEvent] = None
+        if (
+            cfg.crash_rank >= 0
+            and not self._config_crash_fired
+            and self._tick >= cfg.crash_tick
+        ):
+            ev = FaultEvent(self._tick, "crash", cfg.crash_rank)
+            self._config_crash_fired = True
+        else:
+            for k, scripted in enumerate(self._script_crashes):
+                if k not in self._script_crashes_fired and self._tick >= scripted.index:
+                    ev = scripted
+                    self._script_crashes_fired.add(k)
+                    break
+        if ev is None:
+            return
+        rank = ev.arg
+        self.dead_ranks.add(rank)
+        self.trace.append(ev)
+        self.stats.count_chaos("crashes")
+        self._clear_rank_mailbox(rank)
+        tel = self.machine.telemetry
+        if tel.enabled:
+            tel.event(
+                "fault",
+                rank=rank,
+                args={
+                    "kind": "crash",
+                    "arg": rank,
+                    "tick": self._tick,
+                    "decision": -1,
+                    "ack": False,
+                },
+            )
+        raise RankCrashed(rank, self._tick, len(self.machine.stats.epochs))
+
+    def _clear_rank_mailbox(self, rank: int) -> None:
+        """Dump a dead rank's undelivered mail (its memory is gone)."""
+        t = self.inner
+        box = t._mailboxes[rank]
+        if hasattr(t, "_completed"):  # threads: keep the drain ledger honest
+            with t._lock:
+                n = len(box)
+                box.clear()
+                t._completed += n
+        else:
+            box.clear()
+
+    def revive(self, rank: int) -> None:
+        """Bring a crashed rank back to life (recovery respawned it)."""
+        self.dead_ranks.discard(rank)
+
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Chaos clock + fate stream, captured at a quiescent boundary.
+
+        Restoring this rewinds the decision counter, the tick clock and
+        the fate RNG, and truncates the trace — so the replayed suffix
+        of a recovered run draws the *same* fault fates the crashed
+        prefix did, which is what makes recovery bit-identical on the
+        sim transport.  The fired-crash flags are deliberately excluded.
+        """
+        with self._lock:
+            return {
+                "decision": self._decision,
+                "tick": self._tick,
+                "limbo_n": self._limbo_n,
+                "rng": self._rng.getstate(),
+                "trace_len": len(self.trace),
+            }
+
+    def restore_state(self, state: dict) -> None:
+        with self._lock:
+            self._decision = state["decision"]
+            self._tick = state["tick"]
+            self._limbo_n = state["limbo_n"]
+            self._rng.setstate(state["rng"])
+            del self.trace[state["trace_len"] :]
+            self._limbo.clear()
+
     def _next_event_tick(self) -> Optional[int]:
         candidates = []
         if self._limbo:
@@ -412,6 +564,7 @@ class ChaosTransport:
         """Sim transport: one tick per scheduler step, plus idle fast-forward."""
         with self._lock:
             self._tick += 1
+            self._maybe_crash()
             self._pump()
         if self._orig_step():
             return True
@@ -424,6 +577,7 @@ class ChaosTransport:
             # burning one no-op step per tick.
             if nxt > self._tick:
                 self._tick = nxt
+                self._maybe_crash()
             self._pump()
             return True
 
@@ -434,6 +588,12 @@ class ChaosTransport:
             total += self._orig_drain(timeout)
             with self._lock:
                 self._tick += 1
+            # Outside the chaos lock: clearing a dead rank's mailbox
+            # takes the transport lock, which workers also hold while
+            # they interact with the chaotic wire.  After a drain pass
+            # the workers are idle, so this thread owns the tick.
+            self._maybe_crash()
+            with self._lock:
                 nxt = self._next_event_tick()
                 if nxt is None:
                     return total

@@ -43,6 +43,16 @@ class Epoch:
     def __enter__(self) -> "Epoch":
         if self.machine._active_epoch is not None:
             raise RuntimeError("epochs do not nest")
+        ckpts = self.machine.checkpoints
+        if ckpts is not None:
+            # Pending restores win over any driver-side re-initialization
+            # performed between restore() and this epoch boundary (a
+            # recovery re-run calling its init code again).
+            ckpts.apply_pending()
+            # A full baseline before the first epoch: without it, a rank
+            # crash in epoch 0 would have nothing to roll back to.  Must
+            # run before _active_epoch is set (capture refuses mid-epoch).
+            ckpts.ensure_initial()
         self.machine._active_epoch = self
         self.machine.stats.begin_epoch()
         self.machine.telemetry.epoch_begin()
@@ -53,11 +63,21 @@ class Epoch:
         if exc_type is not None:
             self.machine.telemetry.epoch_end()
             return  # propagate; don't try to finish a failed epoch
-        self.machine.transport.finish_epoch(self.machine.detector)
+        try:
+            self.machine.transport.finish_epoch(self.machine.detector)
+        except BaseException:
+            # finish_epoch can raise (e.g. a rank crash while draining);
+            # close the telemetry epoch phase so spans stay balanced for
+            # the recovery path.
+            self.machine.telemetry.epoch_end()
+            raise
         self.machine.telemetry.epoch_end()
         self._account_control()
         self.result_stats = self.machine.stats.end_epoch()
         self.finished = True
+        ckpts = self.machine.checkpoints
+        if ckpts is not None:
+            ckpts.maybe_capture()
 
     # -- primitives -----------------------------------------------------------
     def flush(self, budget: Optional[int] = None) -> int:

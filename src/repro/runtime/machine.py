@@ -35,6 +35,7 @@ from typing import Callable, Optional, Union
 from .addressing import AddressResolver
 from .caching import CachingLayer
 from .chaos import ChaosConfig, ChaosTransport
+from .checkpoint import CheckpointConfig, CheckpointManager
 from .coalescing import CoalescingLayer
 from .epoch import Epoch
 from .message import MessageRegistry, MessageType
@@ -70,6 +71,7 @@ class Machine:
         chaos: Optional[ChaosConfig] = None,
         reliable: Union[ReliableConfig, bool, None] = None,
         telemetry: Union[str, TelemetryConfig, None] = None,
+        checkpoint: Union[CheckpointConfig, bool, None] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
@@ -128,6 +130,28 @@ class Machine:
                     "reliability"
                 )
             self.chaos = ChaosTransport(self.transport, ccfg, self.reliable)
+        # -- checkpointing (after chaos: the manager snapshots machine.chaos) --
+        #: CheckpointManager when epoch-aligned snapshots are enabled
+        #: (docs/RECOVERY.md); ``None`` keeps the hot path untouched.
+        self.checkpoints: Optional[CheckpointManager] = None
+        if checkpoint:
+            self.enable_checkpoints(
+                checkpoint if isinstance(checkpoint, CheckpointConfig) else None
+            )
+
+    def enable_checkpoints(
+        self, config: Optional[CheckpointConfig] = None
+    ) -> CheckpointManager:
+        """Install a :class:`CheckpointManager` (idempotent without config)."""
+        if self.checkpoints is not None:
+            if config is not None and config is not self.checkpoints.config:
+                raise RuntimeError(
+                    "checkpointing is already enabled with a different "
+                    "config; build a fresh Machine to reconfigure"
+                )
+            return self.checkpoints
+        self.checkpoints = CheckpointManager(self, config)
+        return self.checkpoints
 
     # -- registration ----------------------------------------------------------
     def register(
@@ -151,7 +175,14 @@ class Machine:
             name, handler, address_of=address_of, dest_rank_of=dest_rank_of
         )
         self.registry.add(mtype)
-        self.stats.register_type(name)
+        if name in self.stats.by_type:
+            # The registry (which just accepted the name) is the dup guard;
+            # a stats-only entry can only come from a checkpoint restored
+            # *before* the pattern was bound (``--restore-from``).  Adopt
+            # the restored counters so resumed accounting stays exact.
+            pass
+        else:
+            self.stats.register_type(name)
         if isinstance(coalescing, int):
             coalescing = CoalescingLayer(buffer_size=coalescing)
         for layer in (cache, reduction, coalescing):

@@ -250,6 +250,42 @@ class ReliableDelivery:
                 seen.discard(order.popleft())
             return True
 
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Sequence counters and dedup windows, captured at quiescence.
+
+        The retransmission buffer is *not* captured: a checkpoint is only
+        legal when ``in_flight() == 0`` (quiescence includes unacked
+        envelopes), and restore clears it to enforce that.  The dedup
+        windows *are* captured — after a rollback the replayed senders
+        re-issue the same sequence numbers, and the receivers must treat
+        them as fresh exactly as the first execution did, which the
+        restored windows (trimmed to checkpoint time) guarantee.
+        """
+        with self._lock:
+            if self._unacked:
+                raise RuntimeError(
+                    f"cannot checkpoint reliable delivery with "
+                    f"{len(self._unacked)} unacked envelopes in flight"
+                )
+            return {
+                "next_seq": dict(self._next_seq),
+                "seen": {ch: list(order) for ch, (_, order) in self._seen.items()},
+                "retries": self.retries,
+                "gave_up": self.gave_up,
+            }
+
+    def restore_state(self, state: dict) -> None:
+        with self._lock:
+            self._next_seq = dict(state["next_seq"])
+            self._seen = {
+                ch: (set(order), deque(order))
+                for ch, order in state["seen"].items()
+            }
+            self.retries = state["retries"]
+            self.gave_up = state["gave_up"]
+            self._unacked.clear()
+
     def make_ack(self, renv: ReliableEnvelope, from_rank: int) -> AckEnvelope:
         ch = renv.channel
         # Driver-injected channels (src == -1) are owned by the destination

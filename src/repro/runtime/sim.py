@@ -117,6 +117,31 @@ class SimTransport(Transport):
     def context_for(self, rank: int) -> HandlerContext:
         return self._contexts[rank]
 
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Scheduler cursors and RNG streams, captured at quiescence.
+
+        Restoring this makes the post-rollback schedule — which rank is
+        picked, every random draw — identical to the first execution of
+        the rolled-back epochs, so a recovered run replays bit-for-bit.
+        Mailboxes are *not* captured: a checkpoint is only taken when
+        they are empty, and restore clears them to enforce that.
+        """
+        return {
+            "seq": self._seq,
+            "rr_next": self._rr_next,
+            "sched_rng": self._sched_rng.getstate(),
+            "route_rng": self._route_rng.getstate(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._seq = state["seq"]
+        self._rr_next = state["rr_next"]
+        self._sched_rng.setstate(state["sched_rng"])
+        self._route_rng.setstate(state["route_rng"])
+        for box in self._mailboxes:
+            box.clear()
+
     def pending_messages(self) -> int:
         return sum(len(b) for b in self._mailboxes)
 

@@ -63,7 +63,17 @@ from .chaos import derive_rng
 LEVELS = ("off", "counters", "spans")
 
 #: Phase names recorded by the runtime (see module docstring).
-PHASES = ("epoch", "inject", "drain", "flush", "probe", "handler", "retry")
+PHASES = (
+    "epoch",
+    "inject",
+    "drain",
+    "flush",
+    "probe",
+    "handler",
+    "retry",
+    "snapshot",
+    "restore",
+)
 
 #: Sentinel pushed on the context stack while executing work whose trace
 #: was sampled out: descendants are dropped too, keeping trees closed.

@@ -59,6 +59,16 @@ class OracleDetector:
         """One detection attempt; free for the oracle."""
         return self.quiescent()
 
+    def checkpoint_state(self) -> dict:
+        return {
+            "control_messages": self.control_messages,
+            "accounted": getattr(self, "_accounted", 0),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.control_messages = state["control_messages"]
+        self._accounted = state["accounted"]
+
 
 @dataclass
 class _SafraRank:
@@ -139,6 +149,23 @@ class SafraDetector:
             s.balance = 0
             s.color = WHITE
 
+    def checkpoint_state(self) -> dict:
+        return {
+            "balances": [s.balance for s in self.ranks],
+            "colors": [s.color for s in self.ranks],
+            "control_messages": self.control_messages,
+            "rounds": self.rounds,
+            "accounted": getattr(self, "_accounted", 0),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for s, bal, col in zip(self.ranks, state["balances"], state["colors"]):
+            s.balance = bal
+            s.color = col
+        self.control_messages = state["control_messages"]
+        self.rounds = state["rounds"]
+        self._accounted = state["accounted"]
+
 
 class FourCounterDetector:
     """Double-sum counting detection (the "four-counter" method).
@@ -179,6 +206,22 @@ class FourCounterDetector:
     def reset(self) -> None:
         self.sent = [0] * self.n
         self.received = [0] * self.n
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "sent": list(self.sent),
+            "received": list(self.received),
+            "control_messages": self.control_messages,
+            "probes": self.probes,
+            "accounted": getattr(self, "_accounted", 0),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.sent = list(state["sent"])
+        self.received = list(state["received"])
+        self.control_messages = state["control_messages"]
+        self.probes = state["probes"]
+        self._accounted = state["accounted"]
 
 
 DETECTORS = {

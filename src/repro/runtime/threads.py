@@ -94,6 +94,24 @@ class ThreadTransport(Transport):
         with self._lock:
             return self._enqueued - self._completed
 
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Thread transports have no deterministic cursors to save: the
+        OS scheduler owns the interleaving.  Only the enqueue ledger is
+        captured so a restore can re-balance it."""
+        with self._lock:
+            return {"enqueued": self._enqueued}
+
+    def restore_state(self, state: dict) -> None:
+        with self._lock:
+            for box in self._mailboxes:
+                box.clear()
+            # Everything enqueued counts as handled: the mailboxes are
+            # empty and the ledger must agree or drain() blocks forever.
+            self._enqueued = state["enqueued"]
+            self._completed = self._enqueued
+            self._idle.notify_all()
+
     # -- worker loop -------------------------------------------------------------
     def _worker(self, rank: int, worker: int) -> None:
         while True:

@@ -73,3 +73,28 @@ class Buckets:
     def __len__(self) -> int:
         with self._lock:
             return sum(len(b) for b in self._buckets.values())
+
+    # -- checkpointing --------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Bucket contents in insertion order (deque order is semantic:
+        Delta-stepping pops FIFO, so a restored bucket must replay pops
+        in the same order).  Empty buckets are elided — a popped-empty
+        bucket and a never-created one are indistinguishable."""
+        with self._lock:
+            return {
+                "delta": self.delta,
+                "buckets": {i: list(b) for i, b in self._buckets.items() if b},
+                "inserts": self.inserts,
+            }
+
+    def restore_state(self, state: dict) -> None:
+        if float(state["delta"]) != self.delta:
+            raise ValueError(
+                f"cannot restore buckets of width {state['delta']} into "
+                f"buckets of width {self.delta}"
+            )
+        with self._lock:
+            self._buckets = {
+                int(i): deque(vs) for i, vs in state["buckets"].items()
+            }
+            self.inserts = int(state["inserts"])

@@ -32,6 +32,44 @@ from ..runtime.machine import Machine
 from .buckets import Buckets
 
 
+class DeltaLoopState:
+    """Resumable loop state for :func:`delta_stepping`.
+
+    Registered with the machine's :class:`~repro.runtime.checkpoint.
+    CheckpointManager` (when one is installed) so an epoch-aligned
+    checkpoint carries the strategy's position — the pending buckets,
+    the next level to open, and the levels finished so far.  After a
+    rank crash, recovery re-runs the strategy function; the fresh
+    ``DeltaLoopState`` it builds adopts the rolled-back state
+    (:meth:`CheckpointManager.adopt_state`) and the loop resumes
+    mid-``delta`` instead of starting over.
+    """
+
+    checkpoint_name = "strategy:delta_stepping"
+
+    def __init__(self, delta: float) -> None:
+        self.buckets = Buckets(delta)
+        self.seeded = False
+        self.next_start = 0
+        self.levels = 0
+
+    def checkpoint_state(self) -> dict:
+        return {
+            "buckets": self.buckets.checkpoint_state(),
+            "seeded": self.seeded,
+            "next_start": self.next_start,
+            "levels": self.levels,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        # Restore the Buckets *in place*: the action's work hook closes
+        # over this object, so identity must survive the rollback.
+        self.buckets.restore_state(state["buckets"])
+        self.seeded = bool(state["seeded"])
+        self.next_start = int(state["next_start"])
+        self.levels = int(state["levels"])
+
+
 def delta_stepping(
     machine: Machine,
     action: BoundAction,
@@ -39,14 +77,24 @@ def delta_stepping(
     pmap: VertexPropertyMap,
     delta: float,
 ) -> int:
-    """Apply ``action`` level by level; returns the number of levels run."""
-    B = Buckets(delta)
-    for v in vertices:
-        B.insert(v, pmap[v])
+    """Apply ``action`` level by level; returns the number of levels run.
+
+    Resumable: with checkpointing enabled the loop state (buckets, next
+    level, levels finished) rides in every epoch-aligned checkpoint, and
+    a re-entry after a crash rollback continues from the restored level.
+    """
+    state = DeltaLoopState(delta)
+    mgr = getattr(machine, "checkpoints", None)
+    if mgr is not None:
+        mgr.adopt_state(state)
+    B = state.buckets
+    if not state.seeded:
+        for v in vertices:
+            B.insert(v, pmap[v])
+        state.seeded = True
     action.work = lambda ctx, w: B.insert(w, pmap.get(w, rank=ctx.rank))
 
-    levels = 0
-    i = B.next_nonempty(0)
+    i = B.next_nonempty(state.next_start)
     while i is not None:
         # One epoch per level: drain bucket i, flush, and re-test — work
         # produced by in-flight actions may land back in the current level
@@ -63,9 +111,15 @@ def delta_stepping(
                 # earlier (already settled) bucket — re-run is harmless but
                 # pointless if its current value maps below level i
                 action.invoke(ep, v)
-        levels += 1
-        i = B.next_nonempty(i + 1)
-    return levels
+            # Advance the loop state *inside* the epoch body: the
+            # end-of-epoch auto-capture (Epoch.__exit__) must record a
+            # position consistent with the level just drained.
+            state.levels += 1
+            state.next_start = i + 1
+        i = B.next_nonempty(state.next_start)
+    if mgr is not None:
+        mgr.drop_state(DeltaLoopState.checkpoint_name)
+    return state.levels
 
 
 def delta_stepping_spmd(

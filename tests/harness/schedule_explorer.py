@@ -37,11 +37,12 @@ import numpy as np
 
 from repro.algorithms.bfs import bfs_pattern
 from repro.algorithms.cc import cc_label_pattern
-from repro.algorithms.sssp import bind_sssp
+from repro.algorithms.sssp import bind_sssp, sssp_delta_stepping
 from repro.graph import build_graph, erdos_renyi, uniform_weights
 from repro.patterns import bind
 from repro.runtime.chaos import ChaosConfig, FaultEvent
 from repro.runtime.machine import FAST_PATHS, Machine
+from repro.runtime.recovery import run_with_recovery
 from repro.runtime.reliable import ReliableConfig
 from repro.runtime.sim import ROUTINGS, SCHEDULES
 
@@ -132,6 +133,18 @@ def wl_accumulate(machine: Machine, graph_seed: int, n: int = 64) -> dict[str, n
     return {"acc": acc}
 
 
+def wl_sssp_delta(machine: Machine, graph_seed: int) -> dict[str, np.ndarray]:
+    """Multi-epoch Delta-stepping SSSP: the recovery sweep's workload.
+
+    Re-runnable on the same machine: recovery re-enters this function
+    after a rollback, re-binding the pattern (unique message-type names)
+    and resuming the bucket loop via the checkpointed strategy state.
+    """
+    g, wbg = _graph(graph_seed)
+    dist = sssp_delta_stepping(machine, g, wbg, 0, 4.0)
+    return {"dist": np.asarray(dist)}
+
+
 Workload = Callable[[Machine, int], dict[str, np.ndarray]]
 
 WORKLOADS: dict[str, Workload] = {
@@ -139,6 +152,7 @@ WORKLOADS: dict[str, Workload] = {
     "bfs": wl_bfs,
     "cc": wl_cc,
     "accumulate": wl_accumulate,
+    "sssp_delta": wl_sssp_delta,
 }
 
 
@@ -235,6 +249,106 @@ def default_chaos(seed: int) -> ChaosConfig:
         reorder_window=4,
         split=0.05,
     )
+
+
+def crash_chaos(seed: int) -> ChaosConfig:
+    """The standard adversary plus one scheduled rank crash.
+
+    Crash placement is derived from the seed so a seed sweep explores
+    different (rank, tick) combinations; the tick range covers baseline
+    capture, mid-first-epoch, and deep-in-the-bucket-loop crashes.
+    """
+    return replace(
+        default_chaos(seed),
+        crash_rank=seed % N_RANKS,
+        crash_tick=5 + (seed * 7) % 60,
+    )
+
+
+def uncrashed(chaos: ChaosConfig) -> ChaosConfig:
+    """The same adversary with the crash disabled (the recovery oracle)."""
+    return replace(chaos, crash_rank=-1, crash_tick=-1)
+
+
+def run_config_recover(
+    cfg: RunConfig,
+    chaos: Optional[ChaosConfig] = None,
+    reliable=None,
+) -> tuple[dict[str, np.ndarray], Machine]:
+    """Execute one configuration with checkpointing + crash recovery.
+
+    Returns the workload result *and* the machine so callers can assert
+    on recovery accounting (``machine.stats.checkpoint``).
+    """
+    machine = Machine(
+        n_ranks=N_RANKS,
+        schedule=cfg.schedule,
+        seed=cfg.machine_seed,
+        routing=cfg.routing,
+        fast_path=cfg.fast_path,
+        detector=cfg.detector,
+        chaos=chaos,
+        reliable=reliable,
+        checkpoint=True,
+    )
+    out = run_with_recovery(
+        machine, lambda: WORKLOADS[cfg.workload](machine, cfg.graph_seed)
+    )
+    assert machine.transport.quiescent(), "workload returned before quiescence"
+    return out, machine
+
+
+def explore_recovery(
+    combos: Sequence[tuple[RunConfig, ChaosConfig]],
+    reliable=None,
+    on_progress: Optional[Callable[[int, int], None]] = None,
+) -> tuple[list[Failure], int]:
+    """Run crash+recover combos and diff against the crash-free oracle.
+
+    The oracle is the same configuration under the *same* chaos config
+    with only the crash removed: checkpoint/rollback/replay must be
+    observably free, exactly like the fault-injection layers.  Returns
+    the failures plus the number of combos in which a crash actually
+    fired (a sweep whose crashes never fire proves nothing).
+    """
+    failures: list[Failure] = []
+    oracles: dict[tuple, dict] = {}
+    crashed = 0
+    for i, (cfg, chaos) in enumerate(combos):
+        okey = (cfg, uncrashed(chaos))
+        if okey not in oracles:
+            oracles[okey] = run_config(cfg, chaos=uncrashed(chaos), reliable=reliable)
+        trace: tuple[FaultEvent, ...] = ()
+        try:
+            result, machine = run_config_recover(cfg, chaos, reliable)
+            trace = tuple(machine.chaos.trace)
+            if machine.stats.chaos.crashes:
+                crashed += 1
+            mismatches = compare(oracles[okey], result)
+            if mismatches:
+                failures.append(Failure(cfg, chaos, mismatches, trace))
+        except Exception as exc:  # noqa: BLE001 - harness records, not hides
+            failures.append(Failure(cfg, chaos, [], trace, error=repr(exc)))
+        if on_progress is not None:
+            on_progress(i + 1, len(combos))
+    return failures, crashed
+
+
+def sweep_recovery(
+    chaos_seeds: Iterable[int] = tuple(range(8)),
+    workloads: Sequence[str] = ("sssp_delta",),
+    schedules: Sequence[str] = ("round_robin", "random"),
+    fast_paths: Sequence[str] = FAST_PATHS,
+) -> list[tuple[RunConfig, ChaosConfig]]:
+    """Enumerate crash+recover combos (smaller grid, more chaos seeds)."""
+    combos: list[tuple[RunConfig, ChaosConfig]] = []
+    for wl in workloads:
+        for schedule in schedules:
+            for fp in fast_paths:
+                for cs in chaos_seeds:
+                    cfg = RunConfig(workload=wl, schedule=schedule, fast_path=fp)
+                    combos.append((cfg, crash_chaos(cs)))
+    return combos
 
 
 def sweep(
@@ -413,11 +527,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="on failure, also shrink the first failing trace before exiting",
     )
+    parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="run the crash+checkpoint/restore sweep instead of the "
+        "plain chaos sweep (diffs recovered runs against crash-free "
+        "oracles under the same adversary)",
+    )
     args = parser.parse_args(argv)
     workloads = tuple(w for w in args.workloads.split(",") if w)
     for w in workloads:
         if w not in WORKLOADS:
             parser.error(f"unknown workload {w!r}")
+    if args.recovery:
+        combos = sweep_recovery(
+            chaos_seeds=tuple(args.chaos_seed + k for k in range(8))
+        )
+        print(f"recovery explorer: {len(combos)} crash+recover combos")
+        failures, crashed = explore_recovery(combos)
+        print(f"crashes fired in {crashed}/{len(combos)} combos")
+        if not failures and crashed >= len(combos) // 2:
+            print(
+                f"OK: all {len(combos)} recovered runs bit-identical to "
+                "their crash-free oracles"
+            )
+            return 0
+        if crashed < len(combos) // 2:
+            print(
+                f"FAIL: only {crashed}/{len(combos)} combos crashed; "
+                "sweep proves nothing",
+                file=sys.stderr,
+            )
+        for f in failures:
+            print(f.describe(), file=sys.stderr)
+        return 1
     combos = sweep(
         chaos_seeds=(args.chaos_seed, args.chaos_seed + 1), workloads=workloads
     )
@@ -461,11 +604,16 @@ __all__ = [
     "Shrinker",
     "WORKLOADS",
     "compare",
+    "crash_chaos",
     "default_chaos",
     "explore",
+    "explore_recovery",
     "main",
     "replace",
     "run_config",
+    "run_config_recover",
     "shrink_trace",
     "sweep",
+    "sweep_recovery",
+    "uncrashed",
 ]

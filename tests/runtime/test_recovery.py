@@ -1,0 +1,192 @@
+"""Rank-crash injection and checkpoint-based recovery (docs/RECOVERY.md)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sssp import dijkstra_reference, sssp_delta_stepping
+from repro.graph import build_graph, erdos_renyi, uniform_weights
+from repro.runtime import (
+    ChaosConfig,
+    CheckpointConfig,
+    FaultEvent,
+    Machine,
+    RankCrashed,
+    RecoveryCoordinator,
+    RecoveryError,
+    run_with_recovery,
+)
+
+
+def _graph(n=48, m=130, seed=3, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1.0, 8.0, seed=seed + 1)
+    g, wbg = build_graph(
+        n, list(zip(s, t)), weights=w, n_ranks=n_ranks, partition="cyclic"
+    )
+    ref = dijkstra_reference(n, s, t, w, 0)
+    return g, wbg, ref
+
+
+class TestCrashConfigValidation:
+    def test_both_or_neither(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(crash_rank=1)
+        with pytest.raises(ValueError):
+            ChaosConfig(crash_tick=10)
+
+    def test_tick_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(crash_rank=0, crash_tick=0)
+
+    def test_crash_rank_bounds_checked_at_transport(self):
+        with pytest.raises(ValueError):
+            Machine(2, chaos=ChaosConfig(crash_rank=7, crash_tick=5))
+
+    def test_fault_event_crash_needs_rank(self):
+        with pytest.raises(ValueError):
+            FaultEvent(index=3, kind="crash", arg=-1)
+
+    def test_crash_in_fault_kinds(self):
+        from repro.runtime.chaos import FAULT_KINDS
+
+        assert "crash" in FAULT_KINDS
+
+
+class TestCrashFires:
+    def test_config_crash_raises(self):
+        g, wbg, ref = _graph()
+        m = Machine(4, chaos=ChaosConfig(crash_rank=2, crash_tick=10))
+        with pytest.raises(RankCrashed) as ei:
+            sssp_delta_stepping(m, g, wbg, 0, 4.0)
+        assert ei.value.rank == 2
+        assert ei.value.tick >= 10
+        assert 2 in m.chaos.dead_ranks
+        assert m.stats.chaos.crashes == 1
+
+    def test_crash_recorded_in_trace(self):
+        g, wbg, ref = _graph()
+        m = Machine(4, chaos=ChaosConfig(crash_rank=1, crash_tick=10))
+        with pytest.raises(RankCrashed):
+            sssp_delta_stepping(m, g, wbg, 0, 4.0)
+        crashes = [ev for ev in m.chaos.trace if ev.kind == "crash"]
+        assert len(crashes) == 1
+        assert crashes[0].arg == 1
+
+    def test_scripted_crash_replays(self):
+        """A crash-bearing trace replays via ChaosConfig(script=...)."""
+        g, wbg, ref = _graph()
+        m = Machine(4, chaos=ChaosConfig(crash_rank=1, crash_tick=10))
+        with pytest.raises(RankCrashed) as first:
+            sssp_delta_stepping(m, g, wbg, 0, 4.0)
+        trace = tuple(m.chaos.trace)
+
+        g2, wbg2, _ = _graph()
+        m2 = Machine(4, chaos=ChaosConfig(script=trace))
+        with pytest.raises(RankCrashed) as second:
+            sssp_delta_stepping(m2, g2, wbg2, 0, 4.0)
+        assert second.value.rank == first.value.rank
+        assert second.value.tick == first.value.tick
+
+    def test_crash_fires_once(self):
+        """After revive, the one-shot crash must not re-fire — otherwise
+        recovery would crash-loop forever."""
+        g, wbg, ref = _graph()
+        m = Machine(4, chaos=ChaosConfig(crash_rank=1, crash_tick=10), checkpoint=True)
+        d = run_with_recovery(m, lambda: sssp_delta_stepping(m, g, wbg, 0, 4.0))
+        assert m.stats.chaos.crashes == 1
+        assert not m.chaos.dead_ranks
+        assert np.allclose(np.asarray(d), ref)
+
+    def test_dead_rank_mailbox_dumped(self):
+        g, wbg, ref = _graph()
+        m = Machine(4, chaos=ChaosConfig(crash_rank=0, crash_tick=5))
+        with pytest.raises(RankCrashed):
+            sssp_delta_stepping(m, g, wbg, 0, 4.0)
+        assert not m.transport._mailboxes[0]
+
+
+class TestRecovery:
+    def test_requires_checkpoints(self):
+        m = Machine(2, chaos=ChaosConfig(crash_rank=1, crash_tick=5))
+        with pytest.raises(RecoveryError):
+            RecoveryCoordinator(m)
+
+    def test_crash_before_any_checkpoint(self):
+        """A crash before the baseline capture cannot be recovered."""
+        m = Machine(2, chaos=ChaosConfig(crash_rank=1, crash_tick=5), checkpoint=True)
+        coord = RecoveryCoordinator(m)
+        with pytest.raises(RecoveryError):
+            coord.recover(RankCrashed(1, 5, 0))
+
+    def test_run_with_recovery_delta(self):
+        g, wbg, ref = _graph()
+        m = Machine(4, chaos=ChaosConfig(crash_rank=2, crash_tick=40), checkpoint=True)
+        d = run_with_recovery(m, lambda: sssp_delta_stepping(m, g, wbg, 0, 4.0))
+        assert np.allclose(np.asarray(d), ref)
+        assert m.stats.checkpoint.restores == 1
+        assert m.stats.chaos.crashes == 1
+
+    def test_recovery_bit_identical_to_uncrashed(self):
+        """Flagship: the recovered run's maps equal the same-adversary
+        crash-free run bit for bit."""
+        g, wbg, ref = _graph()
+        base = Machine(4, chaos=ChaosConfig(seed=5, crash_rank=1, crash_tick=10**9))
+        d0 = sssp_delta_stepping(base, g, wbg, 0, 4.0)
+
+        g2, wbg2, _ = _graph()
+        m = Machine(
+            4,
+            chaos=ChaosConfig(seed=5, crash_rank=1, crash_tick=30),
+            checkpoint=True,
+        )
+        d1 = run_with_recovery(m, lambda: sssp_delta_stepping(m, g2, wbg2, 0, 4.0))
+        assert np.array_equal(np.asarray(d0), np.asarray(d1))
+
+    def test_max_restarts_exceeded(self):
+        """Scripted crashes re-fire on every replay when the script holds
+        more crash events than max_restarts allows."""
+        g, wbg, ref = _graph()
+        script = tuple(
+            FaultEvent(index=10 * (k + 1), kind="crash", arg=1) for k in range(4)
+        )
+        m = Machine(4, chaos=ChaosConfig(script=script), checkpoint=True)
+        with pytest.raises(RecoveryError):
+            run_with_recovery(
+                m,
+                lambda: sssp_delta_stepping(m, g, wbg, 0, 4.0),
+                max_restarts=2,
+            )
+
+    def test_multiple_scripted_crashes_recovered(self):
+        g, wbg, ref = _graph()
+        script = (
+            FaultEvent(index=20, kind="crash", arg=1),
+            FaultEvent(index=45, kind="crash", arg=3),
+        )
+        m = Machine(4, chaos=ChaosConfig(script=script), checkpoint=True)
+        d = run_with_recovery(m, lambda: sssp_delta_stepping(m, g, wbg, 0, 4.0))
+        assert m.stats.chaos.crashes == 2
+        assert m.stats.checkpoint.restores == 2
+        assert np.allclose(np.asarray(d), ref)
+
+    def test_rollback_epochs_accounted(self):
+        g, wbg, ref = _graph()
+        m = Machine(
+            4,
+            chaos=ChaosConfig(seed=1, crash_rank=2, crash_tick=60),
+            checkpoint=CheckpointConfig(every=3),
+        )
+        run_with_recovery(m, lambda: sssp_delta_stepping(m, g, wbg, 0, 4.0))
+        # sparse checkpoints: the crash epoch is usually past the last cut
+        assert m.stats.checkpoint.rollback_epochs >= 0
+
+    def test_fixed_point_recovery(self):
+        """Single-epoch fixed point: rollback to the baseline replays the
+        whole epoch."""
+        from repro.algorithms.sssp import sssp_fixed_point
+
+        g, wbg, ref = _graph()
+        m = Machine(4, chaos=ChaosConfig(crash_rank=1, crash_tick=15), checkpoint=True)
+        d = run_with_recovery(m, lambda: sssp_fixed_point(m, g, wbg, 0))
+        assert np.allclose(np.asarray(d), ref)
+        assert m.stats.chaos.crashes == 1

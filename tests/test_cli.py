@@ -147,3 +147,55 @@ class TestCommands:
             == 0
         )
         assert "reachable" in capsys.readouterr().out
+
+
+class TestCheckpointRecoveryCLI:
+    """--crash / --checkpoint-* / --restore-from and the checkpoint command."""
+
+    ARGS = ["sssp", "--n", "64", "--m", "200", "--delta", "3.0"]
+
+    def test_crash_recovers_and_matches_plain_run(self, capsys):
+        assert main(self.ARGS) == 0
+        plain = capsys.readouterr().out
+        assert main([*self.ARGS, "--crash", "1:40"]) == 0
+        crashed = capsys.readouterr().out
+        # headline result line and stats table are bit-identical
+        assert plain.splitlines()[0] == crashed.splitlines()[0]
+        assert [l for l in plain.splitlines() if "sssp-delta" in l] == [
+            l for l in crashed.splitlines() if "sssp-delta" in l
+        ]
+        assert "restores" in crashed  # checkpoint report printed
+
+    def test_bad_crash_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main([*self.ARGS, "--crash", "nope"])
+
+    def test_checkpoint_every_prints_report(self, capsys):
+        assert main([*self.ARGS, "--checkpoint-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshots" in out and "bytes written" in out
+
+    def test_checkpoint_dir_inspect_and_restore(self, tmp_path, capsys):
+        ckdir = str(tmp_path / "ck")
+        assert main([*self.ARGS, "--checkpoint-dir", ckdir]) == 0
+        baseline = capsys.readouterr().out.splitlines()[0]
+
+        assert main(["checkpoint", ckdir]) == 0
+        inspect = capsys.readouterr().out
+        assert "blobs:" in inspect and "checkpoints:" in inspect
+        assert "epoch" in inspect
+
+        assert main([*self.ARGS, "--restore-from", ckdir]) == 0
+        resumed = capsys.readouterr().out
+        assert "restore: resumed from checkpoint" in resumed
+        # the resumed (already converged) run reports the same result
+        assert baseline in resumed
+
+    def test_crash_with_dir_then_restore(self, tmp_path, capsys):
+        """Crash mid-run, persist; a fresh process resumes to the same answer."""
+        ckdir = str(tmp_path / "ck")
+        assert main([*self.ARGS, "--crash", "1:40", "--checkpoint-dir", ckdir]) == 0
+        crashed_line = capsys.readouterr().out.splitlines()[0]
+        assert main([*self.ARGS, "--restore-from", ckdir]) == 0
+        resumed = capsys.readouterr().out
+        assert crashed_line in resumed

@@ -33,4 +33,5 @@ def test_expected_examples_present():
         "custom_pattern.py",
         "message_trace.py",
         "centrality_analysis.py",
+        "crash_recovery.py",
     } <= names
