@@ -43,6 +43,21 @@ def write_json(name: str, payload: dict) -> Path:
     return path
 
 
+def wire_metrics(machine) -> dict:
+    """Wire-codec serialization accounting for one finished run.
+
+    Returns the transport's ``wire_summary()`` (bytes per logical
+    message, frame/byte totals, learned per-type schemas) when the
+    transport has a wire codec — i.e. ``transport="process"`` — and an
+    empty dict otherwise, so benches can record it unconditionally and
+    BENCH_* files track serialization cost across PRs.
+    """
+    summary = getattr(machine.transport, "wire_summary", None)
+    if summary is None:
+        return {}
+    return summary()
+
+
 def er_weighted(n=256, avg_deg=6, seed=0, n_ranks=4, partition="block"):
     """Standard weighted Erdős–Rényi instance used across benches."""
     m = n * avg_deg

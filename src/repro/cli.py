@@ -96,6 +96,7 @@ def _machine(args) -> Machine:
         checkpoint = CheckpointConfig(every=every or 1, path=ckpt_dir)
     machine = Machine(
         n_ranks=args.ranks,
+        transport=getattr(args, "transport", "sim"),
         schedule=args.schedule,
         seed=args.seed,
         detector=args.detector,
@@ -331,6 +332,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--ranks", type=int, default=4)
+        p.add_argument(
+            "--transport",
+            choices=["sim", "threads", "process"],
+            default="sim",
+            help="execution backend: deterministic simulation, real "
+            "threads, or one OS process per rank with shared-memory "
+            "property maps and the binary wire codec (docs/RUNTIME.md)",
+        )
         p.add_argument("--seed", type=int, default=0)
         p.add_argument(
             "--schedule",

@@ -34,6 +34,7 @@ from ..props.lockmap import LockMap
 from ..props.property_map import EdgePropertyMap, VertexPropertyMap
 from ..runtime.epoch import Epoch
 from ..runtime.machine import Machine
+from ..runtime.wire import WireBatch
 from .action import Action, Assign, AugAdd, ModifyCall
 from .errors import PlanningError
 from .expr import (
@@ -524,6 +525,13 @@ class BoundAction:
         vp = self.vector_plan
         esi = vp.eval_si
         plen, sig, cand_pos = vp.payload_len, vp.slot_sig, vp.cand_pos
+        if isinstance(payloads, WireBatch) and payloads.ncols == plen:
+            # Columnar wire delivery (process transport): test the
+            # recognition predicate column-wise instead of per row, and
+            # feed the destination/candidate columns straight into the
+            # scatter kernel — per-row tuples are never materialized.
+            if self._batch_handler_columnar(ctx, payloads, esi, sig, cand_pos):
+                return
         dests: list = []
         cands: list = []
         rest: list = []
@@ -547,7 +555,50 @@ class BoundAction:
         for p in rest:
             self._handler(ctx, p)
 
-    def _vector_apply(self, ctx, dests: list, cands: list) -> None:
+    def _batch_handler_columnar(self, ctx, wb: WireBatch, esi, sig, cand_pos) -> bool:
+        """Zero-copy vectorized delivery of a decoded wire batch.
+
+        Returns True when the whole envelope was consumed (all rows either
+        scattered or routed to the scalar fallback); False to let the
+        caller run the generic per-row path (only when a predicate column
+        is non-constant *and* mixed, which the fast-path send shape never
+        produces — every row it emits shares ``ci==0``/``si``/slot ids).
+        """
+        # Recognition predicate: ci == 0, si == esi, slot ids match.
+        checks = [(1, 0), (2, esi)] + [(3 + 2 * i, s) for i, s in enumerate(sig)]
+        mask = None  # None -> all rows match so far
+        for col, expect in checks:
+            const = wb.col_const(col)
+            if const is not None:
+                if const != expect:
+                    mask = np.zeros(len(wb), dtype=bool)
+                    break
+                continue
+            m = wb.column(col) == expect
+            mask = m if mask is None else (mask & m)
+        tel = ctx.machine.telemetry
+        if mask is None:
+            # Every row matches: the common case for coalesced fast-path
+            # traffic (constant ci/si/slot columns elided on the wire).
+            if tel.spans_on:
+                tel.annotate(vectorized=len(wb), fallback=0)
+            self._vector_apply(ctx, wb.column(0), wb.column(cand_pos))
+            ctx.stats.count_vector_items(self.mtype.name, len(wb))
+            return True
+        n_match = int(mask.sum())
+        if tel.spans_on:
+            tel.annotate(vectorized=n_match, fallback=len(wb) - n_match)
+        if n_match:
+            self._vector_apply(
+                ctx, wb.column(0)[mask], wb.column(cand_pos)[mask]
+            )
+            ctx.stats.count_vector_items(self.mtype.name, n_match)
+        rows = wb._materialize()
+        for i in np.nonzero(~mask)[0]:
+            self._handler(ctx, rows[int(i)])
+        return True
+
+    def _vector_apply(self, ctx, dests, cands) -> None:
         """Apply a batch of candidate values as one extremum scatter.
 
         Equivalent to running the merged eval+modify handler once per
@@ -638,6 +689,13 @@ class BoundPattern:
         if ckpts is not None:
             for pm in self.maps.values():
                 ckpts.register_map(pm)
+        # Process transport: pattern-bound maps are the algorithm state;
+        # hand them over so numeric ones are re-homed into shared memory
+        # at spawn and object ones are synced back at epoch boundaries.
+        adopt = getattr(machine.transport, "adopt_map", None)
+        if adopt is not None:
+            for pm in self.maps.values():
+                adopt(pm)
         self.actions: dict[str, BoundAction] = {}
         for name, action in pattern.actions.items():
             plan = compile_action(action, mode)

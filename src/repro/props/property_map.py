@@ -154,6 +154,40 @@ class VertexPropertyMap:
         if self.dirty is not None:
             self.dirty.mark_all(rank)
 
+    # -- external (shared-memory) storage adoption ---------------------------
+    @property
+    def is_numeric(self) -> bool:
+        """True when per-rank storage is a numpy array (shm-adoptable)."""
+        return not (self.dtype is object or self.dtype == "object")
+
+    def adopt_rank_storage(self, rank: int, arr: np.ndarray) -> None:
+        """Swap rank ``rank``'s backing array for an externally-allocated
+        one (e.g. a view over ``multiprocessing.shared_memory``), copying
+        current content in.  All reads/writes — including the vector fast
+        path's :meth:`scatter_extremum` — then operate on the new buffer
+        in place, so a process-backed transport sees every update without
+        any serialization."""
+        old = self._slices[rank]
+        if not isinstance(old, np.ndarray):
+            raise TypeError(f"{self.name}: object maps cannot adopt external storage")
+        if arr.shape != old.shape or arr.dtype != old.dtype:
+            raise ValueError(
+                f"{self.name}: storage mismatch for rank {rank}: "
+                f"{arr.shape}/{arr.dtype} vs {old.shape}/{old.dtype}"
+            )
+        np.copyto(arr, old)
+        self._slices[rank] = arr
+
+    def privatize(self) -> None:
+        """Copy externally-backed slices back onto the private heap.
+
+        Called when a shared-memory segment is about to be unlinked so the
+        map outlives its transport (result extraction, checkpoint replay,
+        further sim runs on the same maps)."""
+        for r, s in enumerate(self._slices):
+            if isinstance(s, np.ndarray) and not s.flags.owndata:
+                self._slices[r] = s.copy()
+
     def scatter_extremum(
         self, rank: int, local_idx: np.ndarray, values: np.ndarray, *, minimize: bool = True
     ) -> np.ndarray:
@@ -297,6 +331,33 @@ class EdgePropertyMap:
         )
         if self.dirty is not None:
             self.dirty.mark_all(rank)
+
+    # -- external (shared-memory) storage adoption ---------------------------
+    @property
+    def is_numeric(self) -> bool:
+        """True when per-rank storage is a numpy array (shm-adoptable)."""
+        return not (self.dtype is object or self.dtype == "object")
+
+    def adopt_rank_storage(self, rank: int, arr: np.ndarray) -> None:
+        """Swap one rank's backing array for an external buffer (see
+        :meth:`VertexPropertyMap.adopt_rank_storage`)."""
+        old = self._slices[rank]
+        if not isinstance(old, np.ndarray):
+            raise TypeError(f"{self.name}: object maps cannot adopt external storage")
+        if arr.shape != old.shape or arr.dtype != old.dtype:
+            raise ValueError(
+                f"{self.name}: storage mismatch for rank {rank}: "
+                f"{arr.shape}/{arr.dtype} vs {old.shape}/{old.dtype}"
+            )
+        np.copyto(arr, old)
+        self._slices[rank] = arr
+
+    def privatize(self) -> None:
+        """Copy externally-backed slices back onto the private heap (see
+        :meth:`VertexPropertyMap.privatize`)."""
+        for r, s in enumerate(self._slices):
+            if isinstance(s, np.ndarray) and not s.flags.owndata:
+                self._slices[r] = s.copy()
 
     def __len__(self) -> int:
         return self.graph.n_edges

@@ -2,8 +2,9 @@
 
 See DESIGN.md Sec. 2-3: this package provides typed active messages with
 handler re-entry, object-based addressing, coalescing/caching/reduction
-layers, epochs with real termination-detection protocols, two transports
-(deterministic simulation and real threads), seeded fault injection with
+layers, epochs with real termination-detection protocols, three transports
+(deterministic simulation, real threads, and one-process-per-rank with
+shared-memory property maps and a binary wire codec), seeded fault injection with
 reliable delivery, causal telemetry, and epoch-consistent
 checkpoint/recovery (docs/RECOVERY.md).
 """
@@ -26,6 +27,7 @@ from .coalescing import CoalescingLayer
 from .epoch import Epoch
 from .machine import Machine, SpmdContext, SpmdEpoch
 from .message import Envelope, MessageType
+from .process import ProcessTransport
 from .recovery import (
     RankCrashed,
     RecoveryCoordinator,
@@ -57,6 +59,7 @@ from .termination import (
 )
 from .threads import ThreadTransport
 from .transport import HandlerContext, Transport
+from .wire import WireBatch, WireCodec, WireStats, naive_wire_bytes, pickled_envelope_bytes
 
 __all__ = [
     "ACK_TYPE_ID",
@@ -95,6 +98,7 @@ __all__ = [
     "Machine",
     "MessageType",
     "OracleDetector",
+    "ProcessTransport",
     "ReductionLayer",
     "ROUTINGS",
     "SafraDetector",
@@ -109,8 +113,13 @@ __all__ = [
     "ThreadTransport",
     "Transport",
     "TypeStats",
+    "WireBatch",
+    "WireCodec",
+    "WireStats",
     "max_payload",
     "min_payload",
+    "naive_wire_bytes",
+    "pickled_envelope_bytes",
     "run_with_recovery",
     "stable_dumps",
     "stable_loads",

@@ -54,7 +54,12 @@ class CoalescingLayer(Layer):
         buf = self._buffers[src].get(dest)
         if not buf:
             return 0
-        items = tuple(buf)
+        # Freeze at flush time: both the envelope body and every payload in
+        # it become immutable tuples.  A chaos-duplicated envelope shares
+        # the payload objects between deliveries — if a handler mutated a
+        # list-shaped payload in its first delivery, the duplicate would
+        # observe the mutation.  Tuples make that impossible.
+        items = tuple(p if isinstance(p, tuple) else tuple(p) for p in buf)
         buf.clear()
         self.machine.stats.count_flush(self.mtype.name, len(items))
         # Bypass upper layers: a flush is a physical transfer of already-

@@ -39,6 +39,7 @@ from .checkpoint import CheckpointConfig, CheckpointManager
 from .coalescing import CoalescingLayer
 from .epoch import Epoch
 from .message import MessageRegistry, MessageType
+from .process import ProcessTransport
 from .reductions import ReductionLayer
 from .reliable import ReliableConfig, ReliableDelivery
 from .sim import SimTransport
@@ -103,8 +104,14 @@ class Machine:
                 raise ValueError("hypercube routing is only supported on the sim transport")
             self.transport = ThreadTransport(self, threads_per_rank=threads_per_rank)
             self.stats.guard = threading.Lock()
+        elif transport == "process":
+            if routing != "direct":
+                raise ValueError("hypercube routing is only supported on the sim transport")
+            self.transport = ProcessTransport(self)
         else:
-            raise ValueError(f"unknown transport {transport!r}; use 'sim' or 'threads'")
+            raise ValueError(
+                f"unknown transport {transport!r}; use 'sim', 'threads', or 'process'"
+            )
         self.detector = make_detector(detector, self)
         # -- fault injection + reliable delivery (Sec. "FAULTS" in docs) ----
         #: ChaosTransport controller when chaos/reliability is installed.

@@ -31,9 +31,16 @@ from .transport import HandlerContext, Transport
 
 
 class ThreadTransport(Transport):
-    """Active-message transport over real threads."""
+    """Active-message transport over real threads.
 
-    _POLL = 0.002  # worker poll timeout in seconds
+    Workers are *event-driven*: an idle worker parks on the shared
+    ``Condition`` and is woken by ``notify_all`` from every state
+    transition (enqueue, handler completion, shutdown, restore).  There is
+    deliberately no timed poll on the worker/drain_some wait paths — an
+    earlier revision slept up to 2ms per wakeup, which put a sleep-bound
+    floor under idle latency and wasted a core busy-polling empty
+    mailboxes (see ``tests/runtime/test_threads.py`` regression test).
+    """
 
     def __init__(self, machine, threads_per_rank: int = 1) -> None:
         super().__init__(machine)
@@ -117,7 +124,9 @@ class ThreadTransport(Transport):
         while True:
             with self._lock:
                 while not self._mailboxes[rank] and not self._stop:
-                    self._idle.wait(timeout=self._POLL)
+                    # Untimed wait: every producer notifies the condition,
+                    # so there is nothing to poll for.
+                    self._idle.wait()
                 if self._stop:
                     return
                 env, batch = self._mailboxes[rank].popleft()
@@ -175,7 +184,8 @@ class ThreadTransport(Transport):
                 self._completed - start < max_handlers
                 and self._enqueued != self._completed
             ):
-                self._idle.wait(timeout=self._POLL)
+                # Untimed: worker completions always notify.
+                self._idle.wait()
             return self._completed - start
 
     def finish_epoch(self, detector) -> None:

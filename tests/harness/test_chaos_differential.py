@@ -138,6 +138,64 @@ class TestPageRankUnderChaos:
         assert np.array_equal(ref, got)
 
 
+class TestProcessTransportUnderChaos:
+    """The same differential oracle, but with chaos injected inside real
+    worker *processes*: faults fire on the binary wire between forked
+    ranks (and on the parent's driver sends), retransmissions cross the
+    codec, and the merged worker-side chaos counters prove the faults
+    actually happened.  Maps must still be bit-identical to the
+    fault-free deterministic sim run.
+    """
+
+    PROC_SEEDS = SEEDS[:5]  # >= 5 seeds (acceptance floor for process)
+
+    def proc_chaos_machine(self, seed: int, mode: str) -> Machine:
+        return Machine(
+            4,
+            transport="process",
+            fast_path=mode,
+            chaos=ChaosConfig(seed=seed, **CHAOS_KW),
+            reliable=True,
+        )
+
+    @pytest.mark.parametrize("mode", ("off", "vector"))
+    @pytest.mark.parametrize("seed", PROC_SEEDS)
+    def test_sssp_bit_identical(self, mode, seed):
+        g, wg = er(weights=True)
+        ref = oracle(
+            ("sssp", mode),
+            lambda: sssp_fixed_point(Machine(4, fast_path=mode), g, wg, 0),
+        )
+        m = self.proc_chaos_machine(seed, mode)
+        try:
+            got = sssp_fixed_point(m, g, wg, 0)
+            faults = m.stats.chaos.faults_injected
+        finally:
+            m.shutdown()
+        assert np.array_equal(ref, got)
+        assert faults > 0, "no faults observed in worker processes"
+
+    @pytest.mark.parametrize("seed", PROC_SEEDS)
+    def test_pagerank_bit_identical(self, seed):
+        """Non-idempotent accumulation across forked ranks: a single lost
+        or duplicated frame on the binary wire shifts the rank vector."""
+        g = dyadic_graph()
+        ref = oracle(
+            ("pr", "vector"),
+            lambda: pagerank(
+                Machine(4, fast_path="vector"), g, damping=0.5, iterations=10, tol=None
+            ),
+        )
+        m = self.proc_chaos_machine(seed, "vector")
+        try:
+            got = pagerank(m, g, damping=0.5, iterations=10, tol=None)
+            faults = m.stats.chaos.faults_injected
+        finally:
+            m.shutdown()
+        assert np.array_equal(ref, got)
+        assert faults > 0
+
+
 class TestFaultsWereInjected:
     """Guard against a silently inert chaos layer: at least one seed must
     actually exercise every configured fault kind."""

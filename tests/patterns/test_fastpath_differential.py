@@ -260,6 +260,129 @@ def test_bfs_differential_threads(fast_path):
 
 
 # ---------------------------------------------------------------------------
+# process transport: one OS process per rank, shared-memory maps, binary wire
+# ---------------------------------------------------------------------------
+#
+# The process backend runs handlers in forked worker processes; payloads
+# cross rank boundaries through the binary wire codec and results land in
+# shared-memory property-map segments.  The OS scheduler owns the
+# interleaving, so *counters* (handler calls, sends) are schedule-dependent
+# — but property maps and dependent-vertex sets must still be bit-identical
+# to the deterministic sim oracle.
+
+
+@pytest.mark.parametrize("fast_path", MODES)
+def test_sssp_differential_process(fast_path):
+    g, wbg, s, t = er_instance(n=80, avg_deg=4, seed=21)
+    dist0, deps0 = run_sssp(make_machine("off"), g, wbg, 0)
+    m = make_machine(fast_path, transport="process")
+    try:
+        dist, deps = run_sssp(m, g, wbg, 0, layers={"relax": {"coalescing": 16}})
+    finally:
+        m.shutdown()
+    assert np.array_equal(dist0, dist), f"dist mismatch sim-off vs process-{fast_path}"
+    assert deps0 == deps, f"dependent set mismatch sim-off vs process-{fast_path}"
+
+
+@pytest.mark.parametrize("fast_path", MODES)
+def test_bfs_differential_process(fast_path):
+    g, _, s, t = er_instance(n=80, avg_deg=4, seed=22)
+    depth0, deps0 = run_bfs(make_machine("off"), g)
+    m = make_machine(fast_path, transport="process")
+    try:
+        depth, deps = run_bfs(m, g, layers={"hop": {"coalescing": 16}})
+    finally:
+        m.shutdown()
+    assert np.array_equal(depth0, depth)
+    assert deps0 == deps
+
+
+@pytest.mark.parametrize("fast_path", ["off", "vector"])
+def test_cc_labelprop_differential_process(fast_path):
+    s, t = erdos_renyi(100, 150, seed=9)
+    g, _ = build_graph(100, list(zip(s, t)), directed=False, n_ranks=4)
+    comp0, deps0 = run_cc_labelprop(make_machine("off"), g)
+    m = make_machine(fast_path, transport="process")
+    try:
+        comp, deps = run_cc_labelprop(
+            m, g, layers={"spread": {"coalescing": 16}}
+        )
+    finally:
+        m.shutdown()
+    assert np.array_equal(comp0, comp)
+    assert deps0 == deps
+
+
+def test_delta_stepping_differential_process():
+    g, wbg, s, t = rmat_instance(scale=7, edge_factor=6, seed=13)
+    layers = {"relax": {"coalescing": 64}}
+    ref = sssp_delta_stepping(make_machine("off"), g, wbg, 0, 3.0, layers=layers)
+    m = make_machine("vector", transport="process")
+    try:
+        dist = sssp_delta_stepping(m, g, wbg, 0, 3.0, layers=layers)
+        assert vector_items(m) > 0, "vector batch kernel never fired on process"
+    finally:
+        m.shutdown()
+    assert np.array_equal(ref, dist)
+
+
+def test_logical_accounting_process_matches_sim():
+    """On a single-shot fan-out (no handler re-sends), logical counts are
+    schedule-independent, so the merged worker stats must agree exactly
+    with the sim transport: one handler call and one coalesced item per
+    payload, identical coalesced flush counts per destination."""
+    n_msgs = 64
+
+    def run(transport):
+        m = Machine(n_ranks=4, transport=transport)
+        try:
+            m.register(
+                "fan",
+                lambda ctx, p: None,
+                dest_rank_of=lambda p: p[0] % 4,
+                coalescing=8,
+            )
+            with m.epoch() as ep:
+                for i in range(n_msgs):
+                    ep.invoke("fan", (i,))
+            ts = m.stats.by_type["fan"]
+            return ts.handler_calls, ts.coalesced_items, ts.coalesced_flushes
+        finally:
+            m.shutdown()
+
+    assert run("process") == run("sim")
+
+
+CHAOS_SEEDS_PROCESS = [0, 1, 2, 3, 4]
+
+
+@pytest.mark.parametrize("chaos_seed", CHAOS_SEEDS_PROCESS)
+def test_sssp_chaos_on_process(chaos_seed):
+    """Chaos faults injected inside worker processes (and on the parent's
+    driver sends) must be fully absorbed by reliable delivery: maps and
+    dependent sets stay bit-identical to the fault-free sim oracle.  Only
+    the aggregate fault counter is asserted — per-kind counts depend on
+    the OS interleaving."""
+    g, wbg, s, t = er_instance(n=80, avg_deg=4, seed=21)
+    dist0, deps0 = run_sssp(make_machine("off"), g, wbg, 0)
+    m = Machine(
+        n_ranks=4,
+        transport="process",
+        fast_path="vector",
+        chaos=ChaosConfig(seed=chaos_seed, drop=0.12, duplicate=0.10, reorder=0.10),
+        reliable=True,
+    )
+    try:
+        dist, deps = run_sssp(m, g, wbg, 0, layers={"relax": {"coalescing": 16}})
+        faults = m.stats.chaos.faults_injected
+    finally:
+        m.shutdown()
+    assert np.array_equal(dist0, dist), f"dist mismatch under chaos seed {chaos_seed}"
+    assert deps0 == deps, f"dependent set mismatch under chaos seed {chaos_seed}"
+    assert faults > 0, "chaos config injected no faults"
+
+
+# ---------------------------------------------------------------------------
 # chaos: faults on the batch wire must not leak through the fast paths
 # ---------------------------------------------------------------------------
 #

@@ -5,6 +5,7 @@ import pytest
 from repro import Machine
 from repro.runtime import (
     CachingLayer,
+    ChaosConfig,
     CoalescingLayer,
     ReductionLayer,
     max_payload,
@@ -74,6 +75,49 @@ class TestCoalescing:
     def test_invalid_buffer_size(self):
         with pytest.raises(ValueError, match="buffer_size"):
             CoalescingLayer(0)
+
+    def test_flush_freezes_payloads_to_tuples(self):
+        """A flushed buffer must hold immutable copies of the payloads.
+
+        Before the freeze fix, ``CoalescingLayer`` shipped the caller's
+        payload objects by reference.  Any transport that re-delivers a
+        physical envelope — chaos duplication, reliable retransmission —
+        then exposed *aliased* payloads: a handler mutating a list in
+        place corrupted the later re-delivery of the same envelope.  The
+        flush now copies every payload to a tuple, so all deliveries see
+        the original values and in-place mutation is impossible.
+        """
+        # duplicate-only chaos is not lossy, so reliable delivery (and its
+        # dedup window) can be disabled — duplicates really deliver twice.
+        m = Machine(
+            n_ranks=2,
+            chaos=ChaosConfig(seed=7, duplicate=0.9),
+            reliable=False,
+        )
+        delivered = []
+        mutation_blocked = [0]
+
+        def h(ctx, p):
+            delivered.append(tuple(p))
+            try:
+                p[1] += 100  # would corrupt the duplicate's copy if aliased
+            except TypeError:
+                mutation_blocked[0] += 1
+
+        m.register("f", h, dest_rank_of=lambda p: p[0] % 2, coalescing=4)
+        originals = [[i, i * 10] for i in range(16)]
+        with m.epoch() as ep:
+            for p in originals:
+                ep.invoke("f", p)
+        assert m.stats.chaos.duplicated > 0, "chaos never duplicated a frame"
+        assert len(delivered) > len(originals), "duplicates were not delivered"
+        # every delivery — original *and* its chaos duplicate — carries the
+        # values the sender passed in, despite the handler's in-place
+        # mutation attempt between the two deliveries
+        expected = {(i, i * 10) for i in range(16)}
+        assert set(delivered) == expected
+        # handlers saw immutable tuples every time
+        assert mutation_blocked[0] == len(delivered)
 
     def test_handler_sends_through_coalescing_terminate(self):
         """Buffered sends from handlers must still drain at epoch end."""

@@ -1,6 +1,7 @@
 """ThreadTransport: real-thread execution, SPMD programs, quiescence."""
 
 import threading
+import time
 
 import pytest
 
@@ -85,6 +86,69 @@ class TestThreadTransport:
     def test_invalid_threads_per_rank(self):
         with pytest.raises(ValueError, match="threads_per_rank"):
             Machine(transport="threads", threads_per_rank=0)
+
+
+class TestNoBusyPoll:
+    """Regression: workers must be woken by condition notify, not timed polls.
+
+    An earlier revision of :class:`ThreadTransport` had workers sleeping up
+    to ``_POLL = 2ms`` between mailbox checks.  Any workload whose critical
+    path is a chain of cross-rank wakeups then inherits a ~1ms *average*
+    floor per hop (uniform 0..2ms), so a 400-hop sequential relay could not
+    complete in under ~0.4s no matter how fast the handlers were.  With
+    event-driven workers each hop costs only a notify + context switch.
+    """
+
+    HOPS = 400
+
+    def test_sequential_relay_has_no_sleep_floor(self):
+        m = Machine(n_ranks=3, transport="threads")
+        try:
+            count = [0]
+            lock = threading.Lock()
+
+            def relay(ctx, p):
+                with lock:
+                    count[0] += 1
+                if p[0] > 0:
+                    # Always hop to a *different* rank so every delivery
+                    # requires waking a parked worker.
+                    ctx.send("relay", (p[0] - 1,))
+
+            m.register("relay", relay, dest_rank_of=lambda p: p[0] % 3)
+            # Warm up: first epoch starts the worker threads.
+            with m.epoch() as ep:
+                ep.invoke("relay", (3,))
+            t0 = time.perf_counter()
+            with m.epoch() as ep:
+                ep.invoke("relay", (self.HOPS,))
+            elapsed = time.perf_counter() - t0
+            assert count[0] == self.HOPS + 1 + 4
+            # Old 2ms-poll floor: >= HOPS * ~1ms avg = ~0.4s.  Event-driven
+            # wakeups finish in a few tens of ms; 0.25s leaves slack for
+            # loaded CI machines while still failing the polled design.
+            assert elapsed < 0.25, (
+                f"{self.HOPS}-hop relay took {elapsed:.3f}s — workers look "
+                "sleep-bound (timed poll) instead of event-driven"
+            )
+        finally:
+            m.shutdown()
+
+    def test_idle_drain_returns_fast(self):
+        """drain() on an idle machine must not pay a poll interval."""
+        m = Machine(n_ranks=2, transport="threads")
+        try:
+            m.register("n", lambda ctx, p: None, dest_rank_of=lambda p: 0)
+            with m.epoch() as ep:
+                ep.invoke("n", (1,))
+            t0 = time.perf_counter()
+            for _ in range(50):
+                m.transport.drain()
+            elapsed = time.perf_counter() - t0
+            # 50 no-op drains; a 2ms poll per drain would cost >= 0.1s.
+            assert elapsed < 0.1, f"50 idle drains took {elapsed:.3f}s"
+        finally:
+            m.shutdown()
 
 
 class TestSpmd:
