@@ -1,0 +1,13 @@
+"""Benchmark-harness configuration.
+
+Mirror of ``tests/conftest.py``: without numba the native tier would
+silently degrade to vector, turning every ``fast_path="native"`` bench
+row into a duplicate of the vector row.  Default to the interp backend
+(real generated kernels, numpy execution) unless CI already picked one.
+"""
+
+from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_NATIVE_BACKEND", "interp")

@@ -301,6 +301,14 @@ def to_prometheus(machine) -> str:
         f"{stats.checkpoint.dirty_fraction:.9f}",
     )
 
+    # -- native kernel tier (reflective over NativeStats) --------------------
+    for fld in dataclasses.fields(stats.native):
+        metric = f"repro_native_{fld.name}"
+        kind = "counter" if fld.type in ("int", int) else "gauge"
+        w.declare(metric, kind, f"NativeStats.{fld.name}")
+        value = getattr(stats.native, fld.name)
+        w.sample(metric, {}, f"{value:.9f}" if isinstance(value, float) else value)
+
     # -- telemetry phase counters --------------------------------------------
     counters = tel.counters_snapshot()
     if counters:

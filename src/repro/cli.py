@@ -18,6 +18,7 @@ import sys
 import numpy as np
 
 from . import Machine
+from .runtime.machine import FAST_PATHS
 from .analysis import collect_report, format_table
 from .graph import (
     barabasi_albert,
@@ -97,6 +98,7 @@ def _machine(args) -> Machine:
     machine = Machine(
         n_ranks=args.ranks,
         transport=getattr(args, "transport", "sim"),
+        fast_path=getattr(args, "fast_path", "off"),
         schedule=args.schedule,
         seed=args.seed,
         detector=args.detector,
@@ -352,6 +354,14 @@ def build_parser() -> argparse.ArgumentParser:
             default="oracle",
         )
         p.add_argument("--routing", choices=["direct", "hypercube"], default="direct")
+        p.add_argument(
+            "--fast-path",
+            choices=list(FAST_PATHS),
+            default="off",
+            help="execution tier: interpreted walk, bind-time compiled "
+            "closures, numpy batch kernels, or generated native kernels "
+            "(falls back to vector when numba is unavailable)",
+        )
         p.add_argument(
             "--partition", choices=["block", "cyclic", "hash"], default="block"
         )

@@ -56,7 +56,9 @@ from .expr import (
     TrgOf,
     unalias,
 )
+from ..runtime.coalescing import CoalescingLayer
 from .fastpath import _MISSING, compile_steps, recognize_vector_shape
+from .native import build_native_plan
 from .pattern import Pattern, PropertyDecl, default_for
 from .planner import ActionPlan, compile_action
 
@@ -155,10 +157,34 @@ class BoundAction:
         # payloads/statistics/values to the interpreted walk.
         # "vector": additionally, recognizable plan shapes get a numpy
         # batch kernel installed as the message type's batch handler.
+        # "native": recognizable shapes are lowered to generated per-schema
+        # kernel modules (repro/patterns/native.py) with gather->evaluate
+        # fusion for rank-local edges; unrecognized shapes fall back to
+        # the compiled walk exactly as "vector" does.
         fp = bound.machine.fast_path
         self._compiled = compile_steps(self) if fp != "off" else None
         self._walk_fn = self._walk if self._compiled is None else self._walk_compiled
-        self.vector_plan = recognize_vector_shape(self) if fp == "vector" else None
+        self.vector_plan = (
+            recognize_vector_shape(self) if fp in ("vector", "native") else None
+        )
+        self.native_plan = None
+        if fp == "native":
+            if self.vector_plan is not None:
+                self.native_plan = build_native_plan(self)
+            if self.native_plan is None:
+                bound.machine.stats.count_native("fallbacks")
+        self._apply_batch = (
+            self._native_apply if self.native_plan is not None else self._vector_apply
+        )
+        # Bulk-row sends may bypass the per-payload layer walk only when
+        # the stack is exactly one coalescing layer (flush boundaries are
+        # then reproduced precisely; any other layer must see each row).
+        layers = self.mtype.layers
+        self._bulk_layer = (
+            layers[0]
+            if len(layers) == 1 and isinstance(layers[0], CoalescingLayer)
+            else None
+        )
         if self.vector_plan is not None:
             self.mtype.batch_handler = self._batch_handler
 
@@ -207,7 +233,9 @@ class BoundAction:
     def _handler(self, ctx, payload: tuple) -> None:
         dest, ci, si, env = self._unpack(payload)
         if ci == -1:
-            if self.vector_plan is not None:
+            if self.native_plan is not None:
+                self._native_generate(ctx, (dest,))
+            elif self.vector_plan is not None:
                 self._vector_generate(ctx, dest)
             else:
                 self._run_generator(ctx, dest)
@@ -525,16 +553,33 @@ class BoundAction:
         vp = self.vector_plan
         esi = vp.eval_si
         plen, sig, cand_pos = vp.payload_len, vp.slot_sig, vp.cand_pos
-        if isinstance(payloads, WireBatch) and payloads.ncols == plen:
-            # Columnar wire delivery (process transport): test the
-            # recognition predicate column-wise instead of per row, and
-            # feed the destination/candidate columns straight into the
-            # scatter kernel — per-row tuples are never materialized.
-            if self._batch_handler_columnar(ctx, payloads, esi, sig, cand_pos):
+        np_plan = self.native_plan
+        if isinstance(payloads, WireBatch):
+            if (
+                np_plan is not None
+                and payloads.ncols == 3
+                and payloads.col_const(1) == -1
+            ):
+                # A whole frame of generator starts (work-hook re-invokes,
+                # driver injections): one fused multi-source fan-out call
+                # consumes the columnar frame, zero per-row dispatch.
+                tel = ctx.machine.telemetry
+                if tel.spans_on:
+                    tel.annotate(native_starts=len(payloads))
+                self._native_generate(ctx, payloads.column(0))
                 return
+            if payloads.ncols == plen:
+                # Columnar wire delivery (process transport): test the
+                # recognition predicate column-wise instead of per row, and
+                # feed the destination/candidate columns straight into the
+                # scatter kernel — per-row tuples are never materialized.
+                if self._batch_handler_columnar(ctx, payloads, esi, sig, cand_pos):
+                    return
         dests: list = []
         cands: list = []
+        starts: list = []
         rest: list = []
+        batch_starts = np_plan is not None
         for p in payloads:
             if (
                 len(p) == plen
@@ -544,14 +589,18 @@ class BoundAction:
             ):
                 dests.append(p[0])
                 cands.append(p[cand_pos])
+            elif batch_starts and len(p) == 3 and p[1] == -1:
+                starts.append(p[0])
             else:
                 rest.append(p)
         tel = ctx.machine.telemetry
         if tel.spans_on:
-            tel.annotate(vectorized=len(dests), fallback=len(rest))
+            tel.annotate(vectorized=len(dests), fallback=len(rest) + len(starts))
         if dests:
-            self._vector_apply(ctx, dests, cands)
+            self._apply_batch(ctx, dests, cands)
             ctx.stats.count_vector_items(self.mtype.name, len(dests))
+        if starts:
+            self._native_generate(ctx, starts)
         for p in rest:
             self._handler(ctx, p)
 
@@ -582,14 +631,14 @@ class BoundAction:
             # traffic (constant ci/si/slot columns elided on the wire).
             if tel.spans_on:
                 tel.annotate(vectorized=len(wb), fallback=0)
-            self._vector_apply(ctx, wb.column(0), wb.column(cand_pos))
+            self._apply_batch(ctx, *wb.columns(0, cand_pos))
             ctx.stats.count_vector_items(self.mtype.name, len(wb))
             return True
         n_match = int(mask.sum())
         if tel.spans_on:
             tel.annotate(vectorized=n_match, fallback=len(wb) - n_match)
         if n_match:
-            self._vector_apply(
+            self._apply_batch(
                 ctx, wb.column(0)[mask], wb.column(cand_pos)[mask]
             )
             ctx.stats.count_vector_items(self.mtype.name, n_match)
@@ -632,6 +681,137 @@ class BoundAction:
                 stats.count_work_item()
                 if work is not None:
                     work(ctx, w)
+
+    # -- tier 3: native generated kernels (fast_path="native") ----------------------
+    def _native_generate(self, ctx, starts) -> None:
+        """Fused multi-source fan-out through the generated kernels.
+
+        One ``fanout`` call evaluates every carried payload column for
+        every edge of every start vertex in ``starts``.  When the planner
+        proved the gather -> evaluate pair fusable
+        (:func:`~repro.patterns.locality.fusion_report`), rank-local edges
+        are applied inline under the destination locks — the collapsed
+        message round — and only rank-remote edges are packed into wire
+        rows.  Payload values are bit-identical to the vector path's (the
+        generated column expressions are the same numpy operations).
+        """
+        np_plan = self.native_plan
+        if not np_plan.fused:
+            # Fusion not proven: keep the vector path's per-vertex message
+            # semantics (static_message_count without the fused discount).
+            for v in starts if not isinstance(starts, np.ndarray) else starts.tolist():
+                self._vector_generate(ctx, int(v))
+            return
+        g = self.bound.graph
+        rank = ctx.rank
+        csr = g.locals[rank]
+        vglob = np.asarray(starts, dtype=np.int64)
+        locs = g.partition.local_index_array(vglob)
+        arrays = [m.local_slice(rank) for m in np_plan.vmaps] + [
+            m.local_slice(rank) for m in np_plan.emaps
+        ]
+        out = np_plan.kernels["fanout"](
+            locs, vglob, csr.indptr, csr.targets, *arrays
+        )
+        t, cols = out[0], out[1:]
+        total = t.shape[0]
+        if total == 0:
+            return
+        stats = ctx.stats
+        stats.count_native("fused_rounds")
+        cand = cols[np_plan.cand_col]
+        owners = g.partition.owner_array(t)
+        local_mask = owners == rank
+        n_local = int(local_mask.sum())
+        if n_local:
+            stats.count_native("fused_edges", n_local)
+            if n_local == total:
+                self._native_apply(ctx, t, cand)
+                return
+            self._native_apply(ctx, t[local_mask], cand[local_mask])
+        if n_local < total:
+            remote = ~local_mask
+            rt = t[remote]
+            rowners = owners[remote]
+            rcols = [c[remote] for c in cols]
+            if rt.shape[0] > 1:
+                # Confluent extremum: of several candidates fanned out to
+                # the same remote vertex in one round, only the best can
+                # survive the compare-and-assign — dominated rows change
+                # neither the final map nor the dependent set, so drop
+                # them before they reach the wire.
+                rcand = rcols[np_plan.cand_col]
+                order = np.lexsort((rcand, rt))
+                ts = rt[order]
+                best = np.empty(ts.shape[0], dtype=bool)
+                if np_plan.vector.minimize:
+                    best[0] = True  # first of each ascending-cand group
+                    np.not_equal(ts[1:], ts[:-1], out=best[1:])
+                else:
+                    best[-1] = True  # last of each group: the max
+                    np.not_equal(ts[1:], ts[:-1], out=best[:-1])
+                keep = order[best]
+                if keep.shape[0] < rt.shape[0]:
+                    keep.sort()  # preserve generation order on the wire
+                    rt = rt[keep]
+                    rowners = rowners[keep]
+                    rcols = [c[keep] for c in rcols]
+            stats.count_native("remote_rows", rt.shape[0])
+            self._native_send_rows(ctx, rt, rowners, rcols)
+
+    def _native_apply(self, ctx, dests, cands) -> None:
+        """Batch compare-and-update through the generated scatter kernel.
+
+        Twin of :meth:`_vector_apply` — same locking, change accounting
+        and work-hook firing — with the extremum loop and dependent-set
+        collection delegated to the per-schema kernels.
+        """
+        np_plan = self.native_plan
+        vp = self.vector_plan
+        dv = np.asarray(dests, dtype=np.int64)
+        cv = np.asarray(cands)
+        local = self.bound.graph.partition.local_index_array(dv)
+        self.assign_count += len(dv)
+        with self.bound.lockmap.lock_many(dv):
+            changed = vp.target_map.scatter_with(
+                ctx.rank, local, cv, np_plan.kernels["scatter"]
+            )
+        if not changed.any():
+            return
+        touched = np_plan.kernels["collect"](dv, changed)
+        self.change_count += len(touched)
+        if vp.dependent:
+            stats = ctx.stats
+            work = self.work
+            for w in touched.tolist():
+                stats.count_work_item()
+                if work is not None:
+                    work(ctx, w)
+
+    def _native_send_rows(self, ctx, dests, owners, cols) -> None:
+        """Ship rank-remote fan-out rows, bulk when provably equivalent.
+
+        With a single coalescing layer and spans off, rows are appended
+        straight into the per-destination buffers with the exact flush
+        boundaries sequential ``ctx.send`` calls would produce — logical
+        send counts, flush counts and envelope contents are unchanged.
+        Any other configuration (telemetry spans, reduction/caching
+        layers, no coalescing) takes the ordinary per-row send path.
+        """
+        pack = self.native_plan.kernels["pack"]
+        machine = ctx.machine
+        layer = self._bulk_layer
+        if layer is not None and not machine.telemetry.spans_on:
+            src = ctx.rank
+            for r in np.unique(owners).tolist():
+                mask = owners == r
+                rows = pack(dests[mask], *[c[mask] for c in cols])
+                layer.send_rows(src, int(r), rows)
+            return
+        send = ctx.send
+        mtype = self.mtype
+        for p in pack(dests, *cols):
+            send(mtype, p)
 
     # -- introspection ------------------------------------------------------------
     def describe(self) -> str:

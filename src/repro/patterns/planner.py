@@ -169,10 +169,23 @@ class ActionPlan:
     def first_cond(self) -> int:
         return 0
 
-    def static_message_count(self) -> int:
+    def static_message_count(self, fused: bool = False) -> int:
         """Worst-case messages for one straight-line run taking every
-        condition's true branch (distinct-locality assumption)."""
-        return sum(cp.static_message_count() for cp in self.cond_plans)
+        condition's true branch (distinct-locality assumption).
+
+        With ``fused=True``, count as the native fast path executes when
+        :func:`~repro.patterns.locality.fusion_report` proves the
+        gather -> evaluate pair fusable: the evaluate hop is performed
+        inline by the fused kernel, so one message round disappears from
+        the straight-line count.
+        """
+        base = sum(cp.static_message_count() for cp in self.cond_plans)
+        if fused:
+            from .locality import fusion_report
+
+            if fusion_report(self).fusable:
+                base -= 1
+        return base
 
     def describe(self) -> str:
         lines = [

@@ -50,6 +50,27 @@ class CoalescingLayer(Layer):
         if len(buf) >= self.buffer_size:
             self._flush_one(key, dest)
 
+    def send_rows(self, src: int, dest: int, rows: list) -> None:
+        """Bulk-append pre-admitted payload rows for one destination.
+
+        Used by the native fast path for rank-remote fan-out rows.  The
+        buffer fills and flushes at exactly the boundaries a sequence of
+        :meth:`send` calls would produce, so logical send counts, flush
+        counts and envelope contents are identical to the per-row path —
+        only the per-payload layer-walk overhead disappears.
+        """
+        key = src if src >= 0 else dest
+        buf = self._buffers[key].setdefault(dest, [])
+        n = len(rows)
+        i = 0
+        size = self.buffer_size
+        while i < n:
+            take = min(size - len(buf), n - i)
+            buf.extend(rows[i : i + take])
+            i += take
+            if len(buf) >= size:
+                self._flush_one(key, dest)
+
     def _flush_one(self, src: int, dest: int) -> int:
         buf = self._buffers[src].get(dest)
         if not buf:

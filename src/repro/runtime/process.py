@@ -69,7 +69,7 @@ import numpy as np
 from .chaos import derive_rng
 from .message import Envelope
 from .reliable import AckEnvelope
-from .stats import ChaosStats, EpochStats, TypeStats
+from .stats import ChaosStats, EpochStats, NativeStats, TypeStats
 from .termination import BLACK, FourCounterDetector, SafraDetector
 from .transport import HandlerContext, Transport
 from .wire import WireCodec, WireStats
@@ -664,6 +664,10 @@ class ProcessTransport(Transport):
         worker_chaos = ChaosStats(**blob["stats"]["chaos"])
         for f in ChaosStats.__dataclass_fields__:
             setattr(st.chaos, f, getattr(st.chaos, f) + getattr(worker_chaos, f))
+        # -- native-kernel counters (shipped outside checkpoint_state so
+        # the recovery differential never sees them) -------------------
+        for f, v in blob.get("native", {}).items():
+            setattr(st.native, f, getattr(st.native, f) + v)
         # -- pattern action counters ----------------------------------
         for type_id, d in blob.get("actions", {}).items():
             ba = self._bound_action(int(type_id))
@@ -816,6 +820,10 @@ class ProcessTransport(Transport):
         st._current = EpochStats(epoch_index=0)
         st.total = EpochStats(epoch_index=-1)
         st.chaos = ChaosStats()
+        # Native-kernel counters restart at zero too: the fork inherited
+        # the parent's bind-time compile counts, which the parent already
+        # reports; this worker ships only what it does itself.
+        st.native = NativeStats()
         # -- detector: shared-counter shim (parent reconstructs) --------
         machine.detector = _SharedDetectorShim(self._det_sent_np, self._det_recv_np)
         # -- codec: fresh instance so a respawned worker doesn't inherit
@@ -923,6 +931,10 @@ class ProcessTransport(Transport):
             "stats": machine.stats.checkpoint_state(),
             "actions": {},
             "objmaps": {},
+            "native": {
+                f: getattr(machine.stats.native, f)
+                for f in NativeStats.__dataclass_fields__
+            },
             "wire": self.codec.stats.snapshot(),
             "wire_schemas": {
                 tid: (sch.name, sch.col_codes, sch.n_binary, sch.n_pickle)
@@ -956,6 +968,7 @@ class ProcessTransport(Transport):
         st._current = EpochStats(epoch_index=0)
         st.total = EpochStats(epoch_index=-1)
         st.chaos = ChaosStats()
+        st.native = NativeStats()
         for mt in machine.registry:
             ba = self._bound_action(mt.type_id)
             if ba is not None:

@@ -118,6 +118,14 @@ class WireBatch:
             return np.full(self.nrows, c, dtype=np.float64)
         return np.full(self.nrows, c, dtype=np.int64)
 
+    def columns(self, *indices: int) -> tuple:
+        """Several columns at once as ndarrays (constants broadcast).
+
+        The frame views feed the vector/native batch kernels directly —
+        per-row tuples are never materialized on this path.
+        """
+        return tuple(self.column(i) for i in indices)
+
     def _materialize(self) -> Tuple[tuple, ...]:
         if self._rows is None:
             cols = []

@@ -111,6 +111,42 @@ class TestPrometheus:
         for f in dataclasses.fields(ChaosStats):
             assert f"repro_chaos_{f.name} " in text, f.name
 
+    def test_reflects_native_fields(self):
+        """Every NativeStats counter exports as repro_native_* without
+        touching the exporter (dataclass reflection, like TypeStats)."""
+        import dataclasses
+
+        from repro.runtime.stats import NativeStats
+
+        m = chain_machine(telemetry="off")
+        text = to_prometheus(m)
+        for f in dataclasses.fields(NativeStats):
+            assert f"repro_native_{f.name} " in text, f.name
+
+    def test_native_counters_have_live_values(self, tmp_path):
+        """A native run's counters land in the scrape with real values."""
+        import math
+
+        from repro.algorithms.sssp import bind_sssp
+        from repro.graph import build_graph, erdos_renyi, uniform_weights
+
+        s, t = erdos_renyi(30, 120, seed=3)
+        w = uniform_weights(120, 1.0, 10.0, seed=4)
+        g, wbg = build_graph(30, list(zip(s, t)), weights=w, n_ranks=2)
+        m = Machine(2, fast_path="native", native_backend="interp")
+        bp = bind_sssp(m, g, wbg)
+        dist = bp.map("dist")
+        dist.fill(math.inf)
+        dist[0] = 0.0
+        relax = bp["relax"]
+        relax.work = lambda ctx, v: relax.invoke_from(ctx, v)
+        with m.epoch() as ep:
+            relax.invoke(ep, 0)
+        text = write_prometheus(m, str(tmp_path / "native.prom"))
+        samples, errors = parse_prometheus(text)
+        assert errors == []
+        assert samples[("repro_native_fused_rounds", frozenset())] > 0
+
     def test_lint_catches_problems(self):
         bad = (
             "# TYPE good counter\n"

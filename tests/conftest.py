@@ -1,0 +1,15 @@
+"""Repo-wide test configuration.
+
+The container running the test suite does not ship numba, yet the suite
+must exercise the *real* native code generator (``patterns/native.py``)
+rather than silently degrading every ``fast_path="native"`` machine to
+the vector tier.  Pin the interp backend — it executes the exact
+generated kernel source through numpy — unless the environment already
+chose a backend (CI's numba job sets ``REPRO_NATIVE_BACKEND=jit``).
+"""
+
+from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_NATIVE_BACKEND", "interp")

@@ -37,7 +37,7 @@ from repro.algorithms import (
 from repro.graph import build_graph, erdos_renyi, uniform_weights
 from repro.runtime import ChaosConfig
 
-MODES = ("off", "compiled", "vector")
+MODES = ("off", "compiled", "vector", "native")
 SEEDS = tuple(range(25))  # >= 25 chaos seeds (acceptance floor)
 
 CHAOS_KW = dict(drop=0.12, duplicate=0.10, reorder=0.10, reorder_window=4)
@@ -158,7 +158,7 @@ class TestProcessTransportUnderChaos:
             reliable=True,
         )
 
-    @pytest.mark.parametrize("mode", ("off", "vector"))
+    @pytest.mark.parametrize("mode", ("off", "vector", "native"))
     @pytest.mark.parametrize("seed", PROC_SEEDS)
     def test_sssp_bit_identical(self, mode, seed):
         g, wg = er(weights=True)

@@ -150,6 +150,64 @@ class TestJumpChainFidelity:
         assert results[0] == results[1] == [0] * N
 
 
+class TestFusedTraceFidelity:
+    """Fusion changes the *planned* message count, and the live trace
+    must follow: a fused native round applies rank-local relaxations
+    inline, so the gather -> evaluate hop disappears from the span tree
+    exactly as ``static_message_count(fused=True)`` predicts."""
+
+    N = 10
+
+    def _run(self, fast_path):
+        from repro.algorithms.sssp import bind_sssp
+
+        s, t = path(self.N)
+        g, wg = build_graph(
+            self.N, list(zip(s.tolist(), t.tolist())),
+            weights=uniform_weights(self.N - 1, 1, 5, seed=3), n_ranks=1,
+        )
+        m = Machine(1, fast_path=fast_path, telemetry="spans")
+        bp = bind_sssp(m, g, wg)
+        dist = bp.map("dist")
+        dist.fill(float("inf"))
+        dist[0] = 0.0
+        with m.epoch() as ep:
+            bp["relax"].invoke(ep, 0)
+        return m, bp
+
+    def msgs_per_trace(self, m):
+        by_trace = traces_of(m.telemetry.snapshot_spans())
+        assert len(by_trace) == 1  # one invocation, one trace
+        (group,) = by_trace.values()
+        return len([sp for sp in group if sp.kind == "msg"])
+
+    def test_fused_native_collapses_eval_hop(self):
+        m, bp = self._run("native")
+        plan = bp["relax"].plan
+        # the planner proves fusion and drops one round from the count
+        assert plan.static_message_count() == 1
+        assert plan.static_message_count(fused=True) == 0
+        assert bp["relax"].native_plan is not None
+        assert bp["relax"].native_plan.fused
+        assert m.stats.native.fused_rounds > 0
+        # live: only the driver's invoke message remains
+        assert self.msgs_per_trace(m) == plan.static_message_count(fused=True) + 1
+
+    def test_unfused_vector_keeps_eval_hop(self):
+        m, bp = self._run("vector")
+        plan = bp["relax"].plan
+        # unfused: invoke + the gather->evaluate hop, as planned
+        assert self.msgs_per_trace(m) == plan.static_message_count() + 1
+
+    def test_fused_and_unfused_agree_on_result(self):
+        dists = {}
+        for fp in ("off", "vector", "native"):
+            m, bp = self._run(fp)
+            dists[fp] = bp.map("dist").to_array()
+        assert (dists["off"] == dists["vector"]).all()
+        assert (dists["off"] == dists["native"]).all()
+
+
 def sssp_vector_machine(chaos=None):
     from repro.algorithms import sssp_fixed_point
 
