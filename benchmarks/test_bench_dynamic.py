@@ -1,0 +1,206 @@
+"""Dynamic-graph bench — incremental delta-restart vs from-scratch.
+
+docs/DYNAMIC.md's headline perf claim: on a *small-delta* mutation (a
+handful of edge ops against thousands of arcs), re-seeding only the
+disturbed vertices must beat recomputing from scratch by >= 2x, while
+staying bit-identical to the from-scratch run on the mutated graph.
+
+The instance is a Graph500-style R-MAT (skewed degrees, ~70% of the
+graph reachable from the source); each round builds it fresh, converges
+SSSP, applies a seeded random batch of deletes + weighted inserts
+through ``Machine.apply_mutations``, then times ``sssp_delta_restart``
+against a fresh-machine ``sssp_fixed_point`` on the same mutated graph.
+The batch application itself is excluded from both sides (it is common
+to both). Rows land in ``results/BENCH_dynamic.json``; the floor is
+asserted per mutation seed on best-of-ROUNDS times.
+"""
+
+import platform
+import random
+import time
+
+import numpy as np
+
+from _common import write_json, write_result
+from repro import Machine
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import bind_sssp, sssp_fixed_point
+from repro.graph import MutationBatch, build_graph, rmat, uniform_weights
+from repro.props.property_map import weight_map_from_array
+from repro.strategies import IncrementalPageRank, sssp_delta_restart
+
+SCALE = 10           # 1024 vertices, 8192 arcs
+EDGE_FACTOR = 8
+GRAPH_SEED = 6       # source 0 reaches ~700 of 1024 vertices
+SOURCE = 0
+N_OPS = 8            # the "small delta": 8 ops against 8192 arcs
+MUTATION_SEEDS = (0, 1, 2, 3)
+ROUNDS = 3
+SPEEDUP_FLOOR = 2.0
+FAST_PATH = "vector"
+
+
+def _instance():
+    s, t = rmat(SCALE, edge_factor=EDGE_FACTOR, seed=GRAPH_SEED)
+    w = uniform_weights(len(s), 1.0, 10.0, seed=GRAPH_SEED + 1)
+    return build_graph(
+        1 << SCALE, list(zip(s, t)), weights=w, n_ranks=4, partition="cyclic"
+    )
+
+
+def _batch(graph, mutation_seed):
+    """Seeded mixed batch: N_OPS/2 deletes of existing arcs, the rest
+    weighted inserts — no two ops touch the same arc."""
+    rnd = random.Random(1000 + mutation_seed)
+    arcs = [(a, b) for _gid, a, b in graph.edges()]
+    batch, used, k = MutationBatch(), set(), 0
+    while k < N_OPS // 2:
+        arc = rnd.choice(arcs)
+        if arc in used:
+            continue
+        used.add(arc)
+        batch.delete_edge(*arc)
+        k += 1
+    n = graph.n_vertices
+    while k < N_OPS:
+        u, v = rnd.randrange(n), rnd.randrange(n)
+        if u != v and (u, v) not in used:
+            used.add((u, v))
+            batch.insert_edge(u, v, weight=float(rnd.randint(1, 10)))
+            k += 1
+    return batch
+
+
+def _one_round(mutation_seed):
+    """(incremental_s, scratch_s, invalidated, seeds) for one fresh run."""
+    g, wbg = _instance()
+    wm = weight_map_from_array(g, wbg)
+    m = Machine(4, fast_path=FAST_PATH)
+    m.attach_graph(g)
+    bp = bind_sssp(m, g, wm)
+    sssp_fixed_point(m, g, wm, SOURCE, bound=bp)
+
+    delta = m.apply_mutations(_batch(g, mutation_seed), weight_map=wm)
+
+    t0 = time.perf_counter()
+    rep = sssp_delta_restart(m, bp, delta, SOURCE)
+    inc_s = time.perf_counter() - t0
+
+    m2 = Machine(4, fast_path=FAST_PATH)
+    t0 = time.perf_counter()
+    bp2 = bind_sssp(m2, g, wm)
+    scratch = sssp_fixed_point(m2, g, wm, SOURCE, bound=bp2)
+    scratch_s = time.perf_counter() - t0
+
+    assert np.array_equal(rep.values, scratch), (
+        f"incremental != from-scratch (mutation seed {mutation_seed})"
+    )
+    return inc_s, scratch_s, rep.invalidated, rep.seeds
+
+
+def test_dynamic_sssp_incremental_speedup(benchmark):
+    benchmark.pedantic(lambda: _one_round(0), rounds=1, iterations=1)
+
+    rows = []
+    for mseed in MUTATION_SEEDS:
+        inc_best, scr_best = float("inf"), float("inf")
+        invalidated = seeds = 0
+        for _ in range(ROUNDS):
+            inc_s, scr_s, invalidated, seeds = _one_round(mseed)
+            inc_best = min(inc_best, inc_s)
+            scr_best = min(scr_best, scr_s)
+        rows.append(
+            {
+                "mutation_seed": mseed,
+                "incremental_s": inc_best,
+                "scratch_s": scr_best,
+                "speedup": scr_best / inc_best,
+                "invalidated": invalidated,
+                "seeds": seeds,
+            }
+        )
+
+    for row in rows:
+        assert row["speedup"] >= SPEEDUP_FLOOR, (
+            f"mutation seed {row['mutation_seed']}: incremental only "
+            f"{row['speedup']:.2f}x over from-scratch "
+            f"(floor {SPEEDUP_FLOOR}x); invalidated={row['invalidated']}"
+        )
+
+    payload = {
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "instance": {
+            "generator": "rmat",
+            "scale": SCALE,
+            "edge_factor": EDGE_FACTOR,
+            "graph_seed": GRAPH_SEED,
+            "n_ops": N_OPS,
+            "fast_path": FAST_PATH,
+        },
+        "speedup_floor": SPEEDUP_FLOOR,
+        "sssp": rows,
+    }
+
+    # Secondary row, no floor: IncrementalPageRank trace patching vs a
+    # full power iteration on a dyadic instance (degree-preserving swap).
+    pr = _pagerank_row()
+    payload["pagerank"] = pr
+
+    write_json("BENCH_dynamic", payload)
+    body = "\n".join(
+        f"seed {r['mutation_seed']}: incremental {r['incremental_s'] * 1e3:8.2f} ms"
+        f"  scratch {r['scratch_s'] * 1e3:8.2f} ms"
+        f"  speedup {r['speedup']:7.1f}x"
+        f"  (invalidated {r['invalidated']}, seeds {r['seeds']})"
+        for r in rows
+    )
+    body += (
+        f"\npagerank: recompute {pr['recompute_s'] * 1e3:.2f} ms"
+        f"  full run {pr['run_s'] * 1e3:.2f} ms"
+        f"  speedup {pr['speedup']:.1f}x"
+    )
+    write_result(
+        "BENCH_dynamic",
+        f"Incremental delta-restart vs from-scratch "
+        f"(R-MAT scale {SCALE}, {N_OPS}-op batches, floor {SPEEDUP_FLOOR}x)",
+        body,
+    )
+
+
+def _pagerank_row():
+    rng = random.Random(4)
+    n = 256
+    edges = [(v, (v + 1) % n) for v in range(n)] + [
+        (v, (v + 7) % n) for v in range(n)
+    ]
+    g, _ = build_graph(n, edges, n_ranks=4, partition="cyclic")
+    m = Machine(4, fast_path=FAST_PATH)
+    m.attach_graph(g)
+    ipr = IncrementalPageRank(m, g, damping=0.5, iterations=16)
+    ipr.run()
+    # degree-preserving swap: (u1,v1),(u2,v2) -> (u1,v2),(u2,v1)
+    u1, u2 = 3, 100
+    batch = MutationBatch()
+    batch.delete_edge(u1, (u1 + 1) % n)
+    batch.delete_edge(u2, (u2 + 1) % n)
+    batch.insert_edge(u1, (u2 + 1) % n)
+    batch.insert_edge(u2, (u1 + 1) % n)
+    delta = m.apply_mutations(batch)
+
+    t0 = time.perf_counter()
+    rep = ipr.recompute(delta)
+    rec_s = time.perf_counter() - t0
+
+    m2 = Machine(4, fast_path=FAST_PATH)
+    t0 = time.perf_counter()
+    ref = pagerank(m2, g, damping=0.5, iterations=16, tol=None)
+    run_s = time.perf_counter() - t0
+    assert np.array_equal(rep.values, ref)
+    return {
+        "n": n,
+        "iterations": 16,
+        "recompute_s": rec_s,
+        "run_s": run_s,
+        "speedup": run_s / rec_s,
+    }

@@ -4,6 +4,7 @@
     python -m repro cc    --generator erdos_renyi --n 400 --m 600
     python -m repro bfs   --generator watts_strogatz --n 300 --k 6
     python -m repro pagerank --generator barabasi_albert --n 200 --m-attach 3
+    python -m repro mutate --generator rmat --scale 9 --ops 8
     python -m repro plan  --pattern sssp           # print a compiled plan
 
 Every run prints the result summary and the machine's message statistics
@@ -297,6 +298,89 @@ def cmd_checkpoint(args) -> int:
     return 0
 
 
+def cmd_mutate(args) -> int:
+    """Converge SSSP, apply a seeded random mutation batch at the epoch
+    boundary, delta-restart incrementally, and (by default) verify the
+    result bit-identical against from-scratch on the mutated graph."""
+    import random
+
+    from .algorithms.sssp import bind_sssp, sssp_fixed_point
+    from .graph import MutationBatch
+    from .props.property_map import weight_map_from_array
+    from .strategies import sssp_delta_restart
+
+    machine = _machine(args)
+
+    def run():
+        # The whole sequence is the recovery driver: a crash replay
+        # rebuilds the (seeded, deterministic) graph and re-applies the
+        # mutation, so the checkpointed post-mutation state becomes
+        # applicable once graph.version catches up.
+        graph, weights = _make_graph(args, directed=True)
+        wm = weight_map_from_array(graph, weights)
+        source = args.source
+        if args.auto_source:
+            source = int(
+                np.argmax(
+                    [graph.out_degree(v) for v in range(graph.n_vertices)]
+                )
+            )
+        machine.attach_graph(graph)
+        bound = bind_sssp(machine, graph, wm)
+        sssp_fixed_point(machine, graph, wm, source, bound=bound)
+
+        rnd = random.Random(args.mutation_seed)
+        arcs = [(a, b) for _gid, a, b in graph.edges()]
+        batch, used, k = MutationBatch(), set(), 0
+        while arcs and k < args.ops // 2:
+            arc = rnd.choice(arcs)
+            if arc in used:
+                continue
+            used.add(arc)
+            batch.delete_edge(*arc)
+            k += 1
+        while k < args.ops:
+            u = rnd.randrange(graph.n_vertices)
+            v = rnd.randrange(graph.n_vertices)
+            if u != v and (u, v) not in used:
+                used.add((u, v))
+                batch.insert_edge(
+                    u, v, weight=float(rnd.uniform(args.w_min, args.w_max))
+                )
+                k += 1
+        delta = machine.apply_mutations(batch, weight_map=wm)
+        rep = sssp_delta_restart(machine, bound, delta, source)
+        return graph, wm, source, delta, rep
+
+    graph, wm, source, delta, rep = _run_maybe_recovering(args, machine, run)
+    print(
+        f"mutation: graph v{delta.version}, "
+        f"-{len(delta.removed)} arcs, +{len(delta.inserted)} arcs "
+        f"(seed {args.mutation_seed})"
+    )
+    reachable = int(np.isfinite(rep.values).sum())
+    print(
+        f"delta-restart: invalidated {rep.invalidated}, "
+        f"re-seeded {rep.seeds}, reachable {reachable}/{graph.n_vertices}"
+    )
+    status = 0
+    if not args.no_verify:
+        oracle = Machine(args.ranks, fast_path=args.fast_path)
+        scratch = sssp_fixed_point(
+            oracle, graph, wm, source, bound=bind_sssp(oracle, graph, wm)
+        )
+        if np.array_equal(rep.values, scratch):
+            print("verify: incremental == from-scratch (bit-identical)")
+        else:
+            bad = int((np.asarray(rep.values) != np.asarray(scratch)).sum())
+            print(f"verify: MISMATCH on {bad} vertices")
+            status = 1
+    _print_report("mutate", machine, graph, reachable=reachable)
+    _print_checkpoint_report(machine)
+    _write_outputs(args, machine)
+    return status
+
+
 def cmd_plan(args) -> int:
     from .patterns import compile_action
 
@@ -473,6 +557,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_ckpt.add_argument("dir", help="checkpoint directory to describe")
     p_ckpt.set_defaults(fn=cmd_checkpoint)
+
+    p_mut = sub.add_parser(
+        "mutate",
+        help="apply a random mutation batch and delta-restart SSSP "
+        "incrementally, verifying against from-scratch (docs/DYNAMIC.md)",
+    )
+    add_common(p_mut)
+    p_mut.add_argument("--source", type=int, default=0)
+    p_mut.add_argument(
+        "--auto-source", action="store_true", help="use the max-degree vertex"
+    )
+    p_mut.add_argument(
+        "--ops", type=int, default=8, help="mutation batch size (ops)"
+    )
+    p_mut.add_argument(
+        "--mutation-seed", type=int, default=0, help="batch generator seed"
+    )
+    p_mut.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the from-scratch bit-identity check",
+    )
+    p_mut.set_defaults(fn=cmd_mutate)
 
     p_plan = sub.add_parser("plan", help="print a pattern's compiled plan")
     p_plan.add_argument(

@@ -19,6 +19,7 @@ from .generators import (
     watts_strogatz,
 )
 from .io import read_edge_list, write_edge_list
+from .mutate import MutationBatch, MutationDelta, MutationError, apply_batch
 from .views import induced_subgraph, reverse_graph
 from .partition import (
     PARTITIONS,
@@ -37,8 +38,12 @@ __all__ = [
     "GraphBuilder",
     "HashPartition",
     "LocalCSR",
+    "MutationBatch",
+    "MutationDelta",
+    "MutationError",
     "PARTITIONS",
     "Partition",
+    "apply_batch",
     "barabasi_albert",
     "build_graph",
     "complete",

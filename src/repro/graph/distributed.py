@@ -14,6 +14,7 @@ on both, so patterns over ``adj``/``out_edges`` behave as expected.
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterator
 
 import numpy as np
@@ -37,6 +38,15 @@ class DistributedGraph:
         self.partition = partition
         self.locals = locals_
         self.edge_offsets = edge_offsets  # len n_ranks + 1; gid -> rank via searchsorted
+        # Monotone mutation counter: bumped by graph.mutate.apply_batch so
+        # caches / checkpoints / telemetry keyed on graph content can detect
+        # that the topology changed underneath them.
+        self.version = 0
+        # Live property maps and lock maps over this graph, tracked weakly so
+        # apply_batch can migrate their storage when the topology changes.
+        self._vertex_maps: "weakref.WeakSet" = weakref.WeakSet()
+        self._edge_maps: "weakref.WeakSet" = weakref.WeakSet()
+        self._lockmaps: "weakref.WeakSet" = weakref.WeakSet()
 
     # -- basic shape -----------------------------------------------------------
     @property
@@ -121,6 +131,19 @@ class DistributedGraph:
             for i in range(csr.n_edges):
                 s, t = csr.arc_by_local_eid(i)
                 yield base + i, s, t
+
+    def edge_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(src, trg) global-id arrays over all stored arcs, in gid order.
+
+        Concatenating the per-rank arrays yields gid order because rank
+        ``r``'s arcs occupy gids ``edge_offsets[r]:edge_offsets[r+1]``.
+        """
+        if not self.locals or self.n_edges == 0:
+            e = np.empty(0, dtype=np.int64)
+            return e, e.copy()
+        src = np.concatenate([csr.local_sources for csr in self.locals])
+        trg = np.concatenate([csr.targets for csr in self.locals])
+        return np.asarray(src, dtype=np.int64), np.asarray(trg, dtype=np.int64)
 
     def degree_histogram(self) -> np.ndarray:
         degs = np.zeros(self.n_vertices, dtype=np.int64)

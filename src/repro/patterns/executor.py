@@ -840,6 +840,11 @@ class BoundPattern:
         self.machine = machine
         self.graph = graph
         self.lockmap = lockmap or LockMap(graph.n_vertices)
+        # Track the lock map on the graph so mutations that add vertices
+        # grow its coverage along with the property maps.
+        lockreg = getattr(graph, "_lockmaps", None)
+        if lockreg is not None:
+            lockreg.add(self.lockmap)
         self.layer_config = layers or {}
         if machine.resolver.owner_map is None:
             machine.attach_graph(graph)

@@ -48,6 +48,19 @@ class LockMap:
     def n_locks(self) -> int:
         return len(self._locks)
 
+    def grow(self, n_vertices: int) -> None:
+        """Extend coverage to ``n_vertices`` (graph mutation added vertices).
+
+        Existing locks keep their identity — handlers already holding one
+        are unaffected; only new trailing blocks gain fresh locks.
+        """
+        if n_vertices <= self.n_vertices:
+            return
+        self.n_vertices = n_vertices
+        need = max(1, (n_vertices + self.block_size - 1) // self.block_size)
+        while len(self._locks) < need:
+            self._locks.append(threading.Lock())
+
     def lock_for(self, v: int) -> threading.Lock:
         """The lock guarding vertex ``v``'s slot."""
         if not 0 <= v < max(self.n_vertices, 1):

@@ -71,6 +71,9 @@ class VertexPropertyMap:
         #: installed by a CheckpointManager; every write path marks the
         #: chunks it touches so incremental snapshots skip clean ones.
         self.dirty = None
+        reg = getattr(graph, "_vertex_maps", None)
+        if reg is not None:
+            reg.add(self)
 
     # -- locality checks -----------------------------------------------------
     def _locate(self, v: int, rank: Optional[int], writing: bool) -> tuple[int, int]:
@@ -264,6 +267,9 @@ class EdgePropertyMap:
         ]
         #: Optional dirty tracker (see :class:`VertexPropertyMap.dirty`).
         self.dirty = None
+        reg = getattr(graph, "_edge_maps", None)
+        if reg is not None:
+            reg.add(self)
 
     def _locate(self, gid: int, rank: Optional[int], writing: bool) -> tuple[int, int]:
         owner, local = self.graph.edge_local_index(gid)

@@ -440,6 +440,12 @@ class CheckpointManager:
         # so driver-side re-initialization (a recovery re-run calling its
         # init code again) cannot clobber restored content.
         self._pending_map_restores: Dict[str, Dict[str, Any]] = {}
+        # Graph version the pending manifests were captured at.  A
+        # recovery re-run replays the driver from scratch, so the graph
+        # passes through *older* versions (pre-mutation topology) before
+        # apply_mutations catches it up; manifests whose shapes reflect
+        # the mutated graph stay parked until versions line up again.
+        self._pending_graph_version: Optional[int] = None
         self._next_index = 0
         self._epochs_at_last_capture = -1
         self._sys: Dict[str, Any] = {}
@@ -478,7 +484,7 @@ class CheckpointManager:
         pm.dirty = tracker
         self._last_manifest.pop(name, None)
         pending = self._pending_map_restores.get(name)
-        if pending is not None:
+        if pending is not None and self._pending_applicable():
             self._restore_map(name, pending)
 
     def register_state(self, obj) -> None:
@@ -600,7 +606,14 @@ class CheckpointManager:
                 index=self._next_index,
                 epoch=len(m.stats.epochs),
                 full=full,
-                meta={"n_ranks": m.n_ranks},
+                meta={
+                    "n_ranks": m.n_ranks,
+                    "graph_version": (
+                        getattr(m.graph, "version", 0)
+                        if m.graph is not None
+                        else 0
+                    ),
+                },
             )
             stats = m.stats
             for name, pm in sorted(self._maps.items()):
@@ -642,6 +655,11 @@ class CheckpointManager:
 
     def maybe_capture(self) -> Optional[Checkpoint]:
         """Capture if ``config.every`` epochs elapsed since the last one."""
+        if self._pending_map_restores:
+            # Mid-recovery replay: map content is transient driver re-init
+            # output, not state worth snapshotting (and, before a replayed
+            # apply_mutations, it reflects the wrong graph version).
+            return None
         done = len(self.machine.stats.epochs)
         if done - max(0, self._epochs_at_last_capture) >= self.config.every:
             return self.capture()
@@ -663,6 +681,35 @@ class CheckpointManager:
             return None
         return self.capture(full=True)
 
+    def ensure_graph_current(self) -> Optional[Checkpoint]:
+        """Capture a fresh full baseline after a graph mutation.
+
+        Called on epoch entry: a checkpoint taken before a mutation can
+        never be restored onto the mutated graph (storage shapes and edge
+        ids changed, and rollback must not silently un-mutate results), so
+        the first epoch after ``apply_mutations`` re-baselines.  Skips
+        when no checkpoint exists yet (:meth:`ensure_initial` handles
+        that) or the boundary is not quiescent.
+        """
+        m = self.machine
+        g = m.graph
+        if g is None or not self.checkpoints:
+            return None
+        if self._pending_map_restores:
+            # Mid-recovery: the re-run is replaying the driver, so the
+            # graph passing through older versions is expected — a fresh
+            # baseline here would snapshot freshly initialised maps and
+            # shadow the checkpoint we are restoring toward.
+            return None
+        version = getattr(g, "version", 0)
+        if self.checkpoints[-1].meta.get("graph_version", version) == version:
+            return None
+        if m._active_epoch is not None:
+            return None
+        if m.transport.pending_messages() or m.transport.pending_layer_items():
+            return None
+        return self.capture(full=True)
+
     def latest(self) -> Optional[Checkpoint]:
         return self.checkpoints[-1] if self.checkpoints else None
 
@@ -673,13 +720,30 @@ class CheckpointManager:
         traffic resumes, so any driver-side re-initialization performed
         by a recovery re-run between :meth:`restore` and its first epoch
         is overwritten by the checkpointed content.
+
+        While the graph is at an older version than the restored
+        checkpoint (a recovery re-run replaying the driver has not yet
+        re-applied its mutations), manifests stay parked: their shapes
+        describe the mutated graph.
         """
         if not self._pending_map_restores:
+            return
+        if not self._pending_applicable():
             return
         for name in list(self._pending_map_restores):
             if name in self._maps:
                 self._restore_map(name, self._pending_map_restores[name])
                 del self._pending_map_restores[name]
+        if not self._pending_map_restores:
+            self._pending_graph_version = None
+
+    def _pending_applicable(self) -> bool:
+        """Pending manifests may only touch the graph version they froze."""
+        want = self._pending_graph_version
+        if want is None:
+            return True
+        g = self.machine.graph
+        return g is not None and getattr(g, "version", 0) == want
 
     # -- restore ------------------------------------------------------
 
@@ -726,17 +790,31 @@ class CheckpointManager:
         if ckpt is None:
             raise CheckpointError("no checkpoint to restore from")
         m = self.machine
+        want = ckpt.meta.get("graph_version")
+        have = getattr(m.graph, "version", 0) if m.graph is not None else 0
+        if want is not None and want < have:
+            raise CheckpointError(
+                f"checkpoint {ckpt.index} was captured at graph version "
+                f"{want} but the graph is now at version {have}: rollback "
+                "across a mutation is not supported (apply_mutations "
+                "re-baselines at the next epoch entry; restore from a "
+                "post-mutation checkpoint instead)"
+            )
         tel = m.telemetry
         ctx = tel.phase("restore") if tel.enabled else None
         if ctx is not None:
             ctx.__enter__()
         try:
+            self._pending_graph_version = want
+            applicable = self._pending_applicable()
             for name, manifest in sorted(ckpt.maps.items()):
-                if name in self._maps:
+                if name in self._maps and applicable:
                     self._restore_map(name, manifest)
                 # keep pending until the first epoch boundary: a recovery
                 # re-run may re-bind (fresh map objects) and re-init maps
-                # before entering its first epoch.
+                # before entering its first epoch — and, after a crash
+                # mid-delta-restart, must first replay apply_mutations to
+                # bring the rebuilt graph back to the manifest's version.
                 self._pending_map_restores[name] = manifest
             for name, digest in sorted(ckpt.states.items()):
                 state = stable_loads(self.store.get(digest))

@@ -53,6 +53,10 @@ class Epoch:
             # crash in epoch 0 would have nothing to roll back to.  Must
             # run before _active_epoch is set (capture refuses mid-epoch).
             ckpts.ensure_initial()
+            # If the graph mutated since the last capture, re-baseline now:
+            # a crash inside this epoch must never roll back across the
+            # mutation boundary (restore refuses version mismatches).
+            ckpts.ensure_graph_current()
         self.machine._active_epoch = self
         self.machine.stats.begin_epoch()
         self.machine.telemetry.epoch_begin()
@@ -78,6 +82,11 @@ class Epoch:
         ckpts = self.machine.checkpoints
         if ckpts is not None:
             ckpts.maybe_capture()
+        # Queued graph mutations apply at this (now provably quiescent)
+        # boundary — after capture, so the checkpoint records the pending
+        # queue together with the pre-mutation state.
+        if self.machine._pending_mutations:
+            self.machine._apply_pending_mutations()
 
     # -- primitives -----------------------------------------------------------
     def flush(self, budget: Optional[int] = None) -> int:

@@ -175,6 +175,11 @@ class Machine:
                     "reliability"
                 )
             self.chaos = ChaosTransport(self.transport, ccfg, self.reliable)
+        #: Mutation batches queued via :meth:`queue_mutations`, applied at
+        #: the next epoch boundary.  Entries are ``(batch, weight_map)``
+        #: where ``weight_map`` is a map object or its registered name
+        #: (names appear after a checkpoint restore).
+        self._pending_mutations: list = []
         # -- checkpointing (after chaos: the manager snapshots machine.chaos) --
         #: CheckpointManager when epoch-aligned snapshots are enabled
         #: (docs/RECOVERY.md); ``None`` keeps the hot path untouched.
@@ -243,6 +248,9 @@ class Machine:
                 )
             return self.checkpoints
         self.checkpoints = CheckpointManager(self, config)
+        # Pending mutation batches are machine state: capture them so a
+        # crash between queueing and application replays the queue.
+        self.checkpoints.register_state(_MutationQueueState(self))
         return self.checkpoints
 
     # -- registration ----------------------------------------------------------
@@ -296,6 +304,94 @@ class Machine:
             )
         self.graph = graph
         self.set_owner_map(graph.owner)
+
+    # -- graph mutations -----------------------------------------------------
+    def apply_mutations(self, batch, *, weight_map=None):
+        """Apply a :class:`~repro.graph.mutate.MutationBatch` to the
+        attached graph at a quiescent boundary.
+
+        Orchestrates everything :func:`~repro.graph.mutate.apply_batch`
+        cannot do alone: proves quiescence, quiesces/releases a
+        shared-memory process transport (so map migration never writes
+        into live segments), resets message-layer state (a caching layer's
+        duplicate-suppression memory refers to pre-mutation values), and
+        re-registers checkpointed maps so dirty tracking matches the new
+        storage shapes.  Returns the :class:`MutationDelta`.
+
+        Inside an epoch, use :meth:`queue_mutations` instead.
+        """
+        from ..graph.mutate import apply_batch
+
+        if self.graph is None:
+            raise RuntimeError(
+                "apply_mutations requires an attached graph (attach_graph "
+                "or bind a pattern first)"
+            )
+        if self._active_epoch is not None:
+            raise RuntimeError(
+                "apply_mutations inside an active epoch; use "
+                "queue_mutations(batch) to apply at the epoch boundary"
+            )
+        if self.transport.pending_messages() or self.transport.pending_layer_items():
+            raise RuntimeError(
+                "apply_mutations with messages in flight; drain the "
+                "machine first"
+            )
+        invalidate = getattr(self.transport, "invalidate_graph", None)
+        if invalidate is not None:
+            invalidate()
+        delta = apply_batch(self.graph, batch, weight_map=weight_map)
+        # Stale layer state refers to pre-mutation topology and values:
+        # a caching layer would suppress re-sends of values it already saw,
+        # breaking incremental restarts.
+        for mtype in self.registry:
+            for layer in mtype.layers:
+                layer.reset()
+        if self.checkpoints is not None:
+            # Re-register every map: storage shapes (and therefore dirty
+            # trackers) changed, and pre-mutation incremental manifests
+            # must not be delta-encoded against.
+            for pm in list(self.checkpoints.maps().values()):
+                self.checkpoints.register_map(pm)
+        self.stats.count_mutation(delta)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.event(
+                "mutation",
+                args={
+                    "version": delta.version,
+                    "inserted": len(delta.inserted),
+                    "removed": len(delta.removed),
+                    "updated": len(delta.updated),
+                    "vertices_added": delta.n_vertices_after
+                    - delta.n_vertices_before,
+                },
+            )
+        return delta
+
+    def queue_mutations(self, batch, *, weight_map=None) -> None:
+        """Queue a batch for application at the next epoch boundary
+        (``Epoch.__exit__``, after quiescence and checkpoint capture)."""
+        self._pending_mutations.append((batch, weight_map))
+
+    def _apply_pending_mutations(self) -> list:
+        """Apply all queued batches (epoch boundary); returns the deltas."""
+        deltas = []
+        while self._pending_mutations:
+            batch, wm = self._pending_mutations.pop(0)
+            if isinstance(wm, str):
+                # Restored from a checkpoint: resolve the map by its
+                # registered checkpoint name.
+                maps = self.checkpoints.maps() if self.checkpoints else {}
+                if wm not in maps:
+                    raise RuntimeError(
+                        f"queued mutation references weight map {wm!r} "
+                        "which is not registered with the checkpoint "
+                        "manager"
+                    )
+                wm = maps[wm]
+            deltas.append(self.apply_mutations(batch, weight_map=wm))
+        return deltas
 
     # -- epochs & driving ----------------------------------------------------
     def epoch(self) -> Epoch:
@@ -374,6 +470,33 @@ class Machine:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown()
+
+
+class _MutationQueueState:
+    """Checkpoint adapter for the pending-mutation queue.
+
+    Weight maps are captured by their checkpoint-registered name and
+    resolved back to map objects at application time.
+    """
+
+    checkpoint_name = "machine:mutation_queue"
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+
+    def checkpoint_state(self):
+        out = []
+        for batch, wm in self.machine._pending_mutations:
+            name = wm if (wm is None or isinstance(wm, str)) else wm.name
+            out.append((batch.to_state(), name))
+        return out
+
+    def restore_state(self, state) -> None:
+        from ..graph.mutate import MutationBatch
+
+        self.machine._pending_mutations = [
+            (MutationBatch.from_state(bstate), name) for bstate, name in state
+        ]
 
 
 class SpmdContext:

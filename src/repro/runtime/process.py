@@ -304,6 +304,27 @@ class ProcessTransport(Transport):
             self._stop_workers()
         self._release_shm()
 
+    def invalidate_graph(self) -> None:
+        """Quiesce and release shared state ahead of a graph mutation.
+
+        Workers closed over the pre-mutation topology and their map slices
+        are views into shm segments sized for it, so both must go: drain,
+        sync object-map state back, stop the workers, and privatize every
+        adopted map onto the parent heap.  The next send respawns workers
+        against the patched graph with freshly sized segments
+        (``_adopted`` survives, ``_started`` is False).
+        """
+        if self._worker_rank is not None:
+            raise RuntimeError("invalidate_graph must run in the parent")
+        if self._started:
+            try:
+                self._drain(timeout=60.0)
+                self._sync_workers()
+            except Exception:
+                pass
+            self._stop_workers()
+        self._release_shm()
+
     def _stop_workers(self) -> None:
         for inbox in self._inboxes:
             try:

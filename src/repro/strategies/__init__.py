@@ -12,10 +12,21 @@ from .chaining import chain, run_until_quiet
 from .delta import delta_stepping, delta_stepping_spmd
 from .delta_light_heavy import delta_stepping_light_heavy, light_heavy_sssp_pattern
 from .fixed_point import fixed_point
+from .incremental import (
+    DeltaRestartReport,
+    IncrementalPageRank,
+    bfs_delta_restart,
+    cc_delta_restart,
+    sssp_delta_restart,
+)
 from .once import once
 
 __all__ = [
     "Buckets",
+    "DeltaRestartReport",
+    "IncrementalPageRank",
+    "bfs_delta_restart",
+    "cc_delta_restart",
     "chain",
     "delta_stepping",
     "delta_stepping_light_heavy",
@@ -24,4 +35,5 @@ __all__ = [
     "light_heavy_sssp_pattern",
     "once",
     "run_until_quiet",
+    "sssp_delta_restart",
 ]

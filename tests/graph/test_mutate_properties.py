@@ -1,0 +1,405 @@
+"""CSR-patch invariants for :mod:`repro.graph.mutate`.
+
+``apply_batch`` rewrites each rank's ``LocalCSR`` in place; these tests
+pin down the structural contract: degree sums, indptr monotonicity,
+gid/edge_offset alignment, owner-computes arc placement, multiset
+round-trips, idempotent deletes, property-map migration, and the
+shared-memory refusal path (the documented workaround for growing a map
+whose storage a process transport still maps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import MutationBatch, MutationError, apply_batch, build_graph
+from repro.props.property_map import (
+    EdgePropertyMap,
+    VertexPropertyMap,
+    weight_map_from_array,
+)
+
+
+def arc_multiset(graph):
+    return sorted((s, t) for _gid, s, t in graph.edges())
+
+
+def er_graph(n=30, m=80, seed=0, weights=False, **kw):
+    rng = np.random.default_rng(seed)
+    s = rng.integers(0, n, m)
+    t = (s + 1 + rng.integers(0, n - 1, m)) % n  # no self-loops
+    w = rng.integers(1, 9, m).astype(np.float64) if weights else None
+    return build_graph(n, list(zip(s.tolist(), t.tolist())), weights=w,
+                       n_ranks=4, partition="cyclic", **kw)
+
+
+def check_csr_invariants(graph):
+    """Structural invariants every post-mutation graph must satisfy."""
+    total = 0
+    for rank in range(graph.n_ranks):
+        csr = graph.locals[rank]
+        indptr = csr.indptr
+        # indptr: monotone, starts at 0, ends at the rank's arc count
+        assert indptr[0] == 0
+        assert np.all(np.diff(indptr) >= 0)
+        assert indptr[-1] == len(csr.targets)
+        # gid base alignment with the global offsets table
+        assert csr.edge_offset == int(graph.edge_offsets[rank])
+        assert graph.edge_offsets[rank + 1] - graph.edge_offsets[rank] == len(
+            csr.targets
+        )
+        # every arc is stored at the owner of its source (owner-computes)
+        for src in csr.local_sources:
+            assert graph.partition.owner(int(src)) == rank
+        # arcs are grouped contiguously by local source id
+        local_of = graph.partition.local_index_array(np.asarray(csr.local_sources))
+        if len(local_of):
+            assert np.all(np.diff(local_of) >= 0)
+        total += len(csr.targets)
+    assert total == graph.n_edges
+    # gids are exactly [0, n_edges): degree sum equals the gid-space size
+    assert int(graph.edge_offsets[-1]) == graph.n_edges
+    gids = [gid for gid, _s, _t in graph.edges()]
+    assert sorted(gids) == list(range(graph.n_edges))
+
+
+class TestStructuralInvariants:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_batches_preserve_invariants(self, seed):
+        g, wbg = er_graph(seed=seed, weights=True)
+        wm = weight_map_from_array(g, wbg)
+        rng = np.random.default_rng(100 + seed)
+        arcs = [(s, t) for _g, s, t in g.edges()]
+        batch = MutationBatch()
+        for s, t in {arcs[i] for i in rng.integers(0, len(arcs), 5)}:
+            batch.delete_edge(s, t)
+        for _ in range(5):
+            u, v = int(rng.integers(0, 30)), int(rng.integers(0, 30))
+            if u != v:
+                batch.insert_edge(u, v, weight=float(rng.integers(1, 9)))
+        batch.add_vertices(int(rng.integers(0, 3)))
+        apply_batch(g, batch, weight_map=wm)
+        check_csr_invariants(g)
+
+    def test_degree_sums_track_inserts_and_deletes(self):
+        g, _ = er_graph()
+        m0 = g.n_edges
+        arcs = arc_multiset(g)
+        u, v = arcs[0]
+        dup = arcs.count((u, v))
+        batch = MutationBatch()
+        batch.delete_edge(u, v)  # removes all parallel copies
+        batch.insert_edge(5, 7) if (5, 7) not in arcs else None
+        delta = apply_batch(g, batch)
+        ins = len(delta.inserted)
+        assert g.n_edges == m0 - dup + ins
+        assert g.out_degree(u) == len([1 for a, b in arcs if a == u]) - dup
+
+    def test_unaffected_rank_keeps_csr_object(self):
+        g, _ = er_graph()
+        # find an arc whose source-owner differs from some other rank
+        _gid, s, t = next(iter(g.edges()))
+        owner = g.partition.owner(s)
+        before = {r: g.locals[r] for r in range(4)}
+        offsets_before = g.edge_offsets.copy()
+        batch = MutationBatch()
+        batch.delete_edge(s, t)
+        apply_batch(g, batch)
+        for r in range(4):
+            if r != owner:
+                assert g.locals[r] is before[r]  # object identity: O(1) patch
+                # only the gid base may have shifted
+                assert len(g.locals[r].targets) == int(
+                    offsets_before[r + 1] - offsets_before[r]
+                )
+        assert g.locals[owner] is not before[owner]
+        check_csr_invariants(g)
+
+
+class TestRoundTrips:
+    def test_delete_then_insert_round_trip(self):
+        g, _ = er_graph(seed=3)
+        before = arc_multiset(g)
+        _gid, s, t = list(g.edges())[7]
+        dup = before.count((s, t))
+        b1 = MutationBatch()
+        b1.delete_edge(s, t)
+        apply_batch(g, b1)
+        assert arc_multiset(g).count((s, t)) == 0
+        b2 = MutationBatch()
+        for _ in range(dup):
+            b2.insert_edge(s, t)
+        apply_batch(g, b2)
+        assert arc_multiset(g) == before
+        check_csr_invariants(g)
+
+    def test_gid_map_tracks_surviving_arcs(self):
+        g, _ = er_graph(seed=5)
+        old_arcs = {gid: (s, t) for gid, s, t in g.edges()}
+        _gid, s, t = list(g.edges())[3]
+        batch = MutationBatch()
+        batch.delete_edge(s, t)
+        batch.insert_edge(1, 2)
+        delta = apply_batch(g, batch)
+        new_arcs = {gid: (a, b) for gid, a, b in g.edges()}
+        for old_gid, pair in old_arcs.items():
+            new_gid = int(delta.gid_map[old_gid])
+            if pair == (s, t):
+                assert new_gid == -1
+            else:
+                assert new_arcs[new_gid] == pair
+        for (u, v, _w), gid in zip(delta.inserted, delta.inserted_gids):
+            assert new_arcs[int(gid)] == (u, v)
+
+    def test_update_then_delete_reports_start_of_batch_weight(self):
+        g, wbg = er_graph(seed=2, weights=True)
+        wm = weight_map_from_array(g, wbg)
+        gid, s, t = next(iter(g.edges()))
+        original = float(wm.to_array()[gid])
+        batch = MutationBatch()
+        batch.update_weight(s, t, 99.0)
+        batch.delete_edge(s, t)
+        delta = apply_batch(g, batch, weight_map=wm)
+        # the removed record must carry the pre-batch weight, never the 99.0
+        # that was in effect for zero epochs
+        assert any(w == original for (u, v, w) in delta.removed if (u, v) == (s, t))
+        assert all(w != 99.0 for (u, v, w) in delta.removed if (u, v) == (s, t))
+
+
+class TestDeleteSemantics:
+    def test_idempotent_delete_within_batch(self):
+        g, _ = er_graph()
+        _gid, s, t = next(iter(g.edges()))
+        batch = MutationBatch()
+        batch.delete_edge(s, t)
+        batch.delete_edge(s, t)  # second one: idempotent no-op
+        delta = apply_batch(g, batch)
+        assert arc_multiset(g).count((s, t)) == 0
+        assert len({(u, v) for u, v, _ in delta.removed}) >= 1
+
+    def test_strict_delete_of_missing_arc_raises(self):
+        g, _ = er_graph()
+        absent = (0, 1)
+        while absent in set(arc_multiset(g)):
+            absent = (absent[0], absent[1] + 1)
+        batch = MutationBatch()
+        batch.delete_edge(*absent)
+        with pytest.raises(MutationError, match="no such arc"):
+            apply_batch(g, batch)
+
+    def test_relaxed_delete_of_missing_arc_is_noop(self):
+        g, _ = er_graph()
+        before = arc_multiset(g)
+        absent = (0, 1)
+        while absent in set(before):
+            absent = (absent[0], absent[1] + 1)
+        batch = MutationBatch()
+        batch.delete_edge(*absent, strict=False)
+        delta = apply_batch(g, batch)
+        assert arc_multiset(g) == before
+        assert delta.removed == []
+
+    def test_parallel_arcs_all_removed(self):
+        g, _ = build_graph(6, [(0, 1), (0, 1), (0, 1), (2, 3)], n_ranks=2)
+        batch = MutationBatch()
+        batch.delete_edge(0, 1)
+        delta = apply_batch(g, batch)
+        assert len(delta.removed) == 3
+        assert arc_multiset(g) == [(2, 3)]
+
+
+class TestValidation:
+    def test_out_of_range_ids(self):
+        g, _ = er_graph()
+        batch = MutationBatch()
+        batch.delete_edge(0, 999)
+        with pytest.raises(MutationError, match="out of range"):
+            apply_batch(g, batch)
+        batch = MutationBatch()
+        batch.insert_edge(0, 999)
+        with pytest.raises(MutationError, match="out of range"):
+            apply_batch(g, batch)
+
+    def test_insert_beyond_added_vertices_ok(self):
+        g, _ = er_graph(n=10, m=20)
+        batch = MutationBatch()
+        batch.add_vertices(2)
+        batch.insert_edge(10, 11)  # both ids only exist after the add
+        apply_batch(g, batch)
+        assert g.n_vertices == 12
+        assert (10, 11) in arc_multiset(g)
+        check_csr_invariants(g)
+
+    def test_weight_ops_require_weight_map(self):
+        g, _ = er_graph()
+        batch = MutationBatch()
+        batch.insert_edge(0, 5, weight=2.0)
+        with pytest.raises(MutationError, match="weight"):
+            apply_batch(g, batch)
+        _gid, s, t = next(iter(g.edges()))
+        batch = MutationBatch()
+        batch.update_weight(s, t, 2.0)
+        with pytest.raises(MutationError, match="weight_map"):
+            apply_batch(g, batch)
+
+    def test_update_missing_arc_raises(self):
+        g, wbg = er_graph(weights=True)
+        wm = weight_map_from_array(g, wbg)
+        absent = (0, 1)
+        while absent in set(arc_multiset(g)):
+            absent = (absent[0], absent[1] + 1)
+        batch = MutationBatch()
+        batch.update_weight(*absent, 5.0)
+        with pytest.raises(MutationError, match="no such arc"):
+            apply_batch(g, batch, weight_map=wm)
+
+    def test_negative_ids_rejected_at_batch_level(self):
+        batch = MutationBatch()
+        with pytest.raises(MutationError):
+            batch.insert_edge(-1, 0)
+        with pytest.raises(MutationError):
+            batch.add_vertices(-1)
+
+
+class TestUndirectedBatches:
+    def test_ops_are_symmetrized(self):
+        g, _ = build_graph(
+            6, [(0, 1), (2, 3)], directed=False, n_ranks=2
+        )
+        batch = MutationBatch(undirected=True)
+        batch.delete_edge(0, 1)
+        batch.insert_edge(4, 5)
+        apply_batch(g, batch)
+        arcs = arc_multiset(g)
+        assert (0, 1) not in arcs and (1, 0) not in arcs
+        assert (4, 5) in arcs and (5, 4) in arcs
+
+    def test_self_loop_not_doubled(self):
+        g, _ = build_graph(4, [(0, 1), (1, 0)], n_ranks=2)
+        batch = MutationBatch(undirected=True)
+        batch.insert_edge(2, 2)
+        delta = apply_batch(g, batch)
+        assert len(delta.inserted) == 1
+        assert arc_multiset(g).count((2, 2)) == 1
+
+
+class TestPropertyMigration:
+    def test_vertex_map_values_survive_vertex_add(self):
+        g, _ = er_graph(n=12, m=30)
+        pm = VertexPropertyMap(g, "f8", default=-1.0, name="score")
+        pm.from_array(np.arange(12, dtype=np.float64))
+        batch = MutationBatch()
+        batch.add_vertices(3)
+        apply_batch(g, batch)
+        out = pm.to_array()
+        assert np.array_equal(out[:12], np.arange(12, dtype=np.float64))
+        assert np.all(out[12:] == -1.0)  # defaults for the new vertices
+
+    def test_edge_map_values_follow_arcs(self):
+        g, _ = er_graph(seed=7)
+        em = EdgePropertyMap(g, "f8", default=0.5, name="load")
+        em.from_array(np.arange(g.n_edges, dtype=np.float64))
+        old = {(s, t): [] for _g, s, t in g.edges()}
+        for gid, s, t in g.edges():
+            old[(s, t)].append(float(gid))
+        _gid, s, t = list(g.edges())[4]
+        batch = MutationBatch()
+        batch.delete_edge(s, t)
+        batch.insert_edge(3, 9)
+        delta = apply_batch(g, batch)
+        vals = em.to_array()
+        new = {}
+        for gid, a, b in g.edges():
+            new.setdefault((a, b), []).append(float(vals[gid]))
+        for (u, v, _w), gid in zip(delta.inserted, delta.inserted_gids):
+            assert vals[int(gid)] == 0.5  # inserted arc gets the default
+        for pair, values in new.items():
+            if pair == (3, 9):
+                continue
+            assert sorted(values) == sorted(old[pair])
+
+    def test_bidirectional_in_edges_rebuilt(self):
+        g, _ = build_graph(
+            6, [(0, 1), (1, 2), (3, 4)], n_ranks=2, bidirectional=True
+        )
+        batch = MutationBatch()
+        batch.insert_edge(2, 5)
+        batch.delete_edge(0, 1)
+        apply_batch(g, batch)
+        assert g.bidirectional
+        ins = {
+            (int(u), v) for v in range(6) for u in g.in_edges(v)[1]
+        }
+        assert ins == {(1, 2), (3, 4), (2, 5)}
+
+
+class TestSharedMemoryGuard:
+    """Satellite: growing/remapping a map whose rank storage is adopted by
+    a shared-memory transport must fail loudly with the documented
+    workaround, never corrupt the segment."""
+
+    def _adopt(self, pm, rank=0):
+        backing = np.empty_like(pm._slices[rank])
+        view = backing.view()  # owndata=False, like an shm-backed buffer
+        pm.adopt_rank_storage(rank, view)
+        assert not pm._slices[rank].flags.owndata
+
+    def test_weight_map_refuses(self):
+        g, wbg = er_graph(weights=True)
+        wm = weight_map_from_array(g, wbg)
+        self._adopt(wm)
+        _gid, s, t = next(iter(g.edges()))
+        batch = MutationBatch()
+        batch.delete_edge(s, t)
+        with pytest.raises(ValueError, match="Machine.apply_mutations"):
+            apply_batch(g, batch, weight_map=wm)
+
+    def test_vertex_map_refuses_growth(self):
+        g, _ = er_graph()
+        pm = VertexPropertyMap(g, "f8", default=0.0, name="adopted")
+        self._adopt(pm)
+        batch = MutationBatch()
+        batch.add_vertices(1)
+        with pytest.raises(ValueError, match="Machine.apply_mutations"):
+            apply_batch(g, batch)
+
+    def test_privatize_is_the_workaround(self):
+        g, _ = er_graph()
+        pm = VertexPropertyMap(g, "f8", default=0.0, name="adopted2")
+        self._adopt(pm)
+        pm.privatize()
+        batch = MutationBatch()
+        batch.add_vertices(1)
+        apply_batch(g, batch)  # no longer adopted: fine
+        assert len(pm.to_array()) == g.n_vertices
+
+
+class TestVersioning:
+    def test_version_bumps_per_batch(self):
+        g, _ = er_graph()
+        assert g.version == 0
+        d1 = apply_batch(g, MutationBatch().insert_edge(0, 5))
+        d2 = apply_batch(g, MutationBatch().insert_edge(1, 6))
+        assert (d1.version, d2.version) == (1, 2)
+        assert g.version == 2
+
+    def test_delta_counts(self):
+        g, wbg = er_graph(weights=True)
+        wm = weight_map_from_array(g, wbg)
+        _gid, s, t = next(iter(g.edges()))
+        gid2, s2, t2 = list(g.edges())[10]
+        batch = MutationBatch()
+        batch.delete_edge(s, t)
+        batch.insert_edge(2, 4, weight=3.0)
+        if (s2, t2) != (s, t):
+            batch.update_weight(s2, t2, 7.5)
+        batch.add_vertices(2)
+        delta = apply_batch(g, batch, weight_map=wm)
+        assert delta.n_vertices_after - delta.n_vertices_before == 2
+        assert list(delta.added_vertices) == [30, 31]
+        assert any((u, v) == (2, 4) and w == 3.0 for u, v, w in delta.inserted)
+        if (s2, t2) != (s, t):
+            assert any(
+                (u, v) == (s2, t2) and new == 7.5 for u, v, _old, new in delta.updated
+            )

@@ -29,22 +29,36 @@ from __future__ import annotations
 
 import argparse
 import math
+import random
 import sys
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.algorithms.bfs import bfs_pattern
-from repro.algorithms.cc import cc_label_pattern
-from repro.algorithms.sssp import bind_sssp, sssp_delta_stepping
-from repro.graph import build_graph, erdos_renyi, uniform_weights
+from repro.algorithms.bfs import bfs_fixed_point, bfs_pattern
+from repro.algorithms.cc import cc_label_pattern, cc_label_propagation
+from repro.algorithms.pagerank import pagerank
+from repro.algorithms.sssp import (
+    bind_sssp,
+    sssp_delta_stepping,
+    sssp_fixed_point,
+)
+from repro.graph import MutationBatch, build_graph, erdos_renyi, uniform_weights
 from repro.patterns import bind
+from repro.props.property_map import weight_map_from_array
 from repro.runtime.chaos import ChaosConfig, FaultEvent
 from repro.runtime.machine import FAST_PATHS, Machine
 from repro.runtime.recovery import run_with_recovery
 from repro.runtime.reliable import ReliableConfig
 from repro.runtime.sim import ROUTINGS, SCHEDULES
+from repro.strategies import (
+    IncrementalPageRank,
+    bfs_delta_restart,
+    cc_delta_restart,
+    fixed_point,
+    sssp_delta_restart,
+)
 
 N_RANKS = 4  # power of two: every routing mode is available
 
@@ -430,6 +444,35 @@ def _run_traced(cfg, chaos, reliable, sink: list) -> dict:
 # ---------------------------------------------------------------------------
 
 
+def _ddmin(items: Sequence, fails: Callable[[Sequence], bool]) -> tuple:
+    """Classic ddmin over ``items`` under the ``fails`` predicate, followed
+    by a single-element elimination polish.  ``items`` must already fail."""
+    current = list(items)
+    n = 2
+    while len(current) >= 2:
+        chunk = math.ceil(len(current) / n)
+        reduced = False
+        for i in range(n):
+            complement = current[: i * chunk] + current[(i + 1) * chunk :]
+            if complement and fails(complement):
+                current = complement
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(len(current), 2 * n)
+    # 1-minimality polish: drop any single event that is not needed.
+    for i in range(len(current) - 1, -1, -1):
+        if len(current) == 1:
+            break
+        candidate = current[:i] + current[i + 1 :]
+        if fails(candidate):
+            current = candidate
+    return tuple(current)
+
+
 @dataclass
 class Shrinker:
     """Delta-debugging minimizer for failing fault traces.
@@ -464,32 +507,9 @@ class Shrinker:
 
     def shrink(self, events: Sequence[FaultEvent]) -> tuple[FaultEvent, ...]:
         """Classic ddmin, then a final single-event elimination pass."""
-        current = list(events)
-        if not self.fails(current):
+        if not self.fails(list(events)):
             raise ValueError("shrink called with a non-failing trace")
-        n = 2
-        while len(current) >= 2:
-            chunk = math.ceil(len(current) / n)
-            reduced = False
-            for i in range(n):
-                complement = current[: i * chunk] + current[(i + 1) * chunk :]
-                if complement and self.fails(complement):
-                    current = complement
-                    n = max(n - 1, 2)
-                    reduced = True
-                    break
-            if not reduced:
-                if n >= len(current):
-                    break
-                n = min(len(current), 2 * n)
-        # 1-minimality polish: drop any single event that is not needed.
-        for i in range(len(current) - 1, -1, -1):
-            if len(current) == 1:
-                break
-            candidate = current[:i] + current[i + 1 :]
-            if self.fails(candidate):
-                current = candidate
-        return tuple(current)
+        return _ddmin(events, self.fails)
 
 
 def shrink_trace(
@@ -499,6 +519,341 @@ def shrink_trace(
 ) -> tuple[FaultEvent, ...]:
     """Convenience wrapper: minimize ``trace`` for ``config``."""
     return Shrinker(config, reliable).shrink(trace)
+
+
+# ---------------------------------------------------------------------------
+# mutation sweep (dynamic graphs): incremental recompute == from-scratch
+# ---------------------------------------------------------------------------
+#
+# Ops are plain tuples so ddmin can shrink a failing batch:
+#   ("insert", u, v[, w])        add an arc (weight only for sssp)
+#   ("delete", u, v)             remove an arc (strict=False: subset-safe)
+#   ("update", u, v, w)          change an arc weight (sssp only)
+#   ("grow", k)                  add k isolated vertices (subset-safe: no op
+#                                ever references a vertex another op created)
+#   ("swap", u1, v1, u2, v2)     degree-preserving target swap (pagerank:
+#                                one op so any subset stays degree-preserving)
+# The generator never emits two ops touching the same arc, so *every*
+# subset of an op list is a valid batch — the shrinker's predicate is pure.
+
+MUTATION_ALGOS = ("sssp", "bfs", "cc", "pagerank")
+
+
+@dataclass(frozen=True)
+class MutationConfig:
+    """One point of the (algorithm × fast_path × transport × seed) space."""
+
+    algorithm: str = "sssp"
+    fast_path: str = "compiled"
+    transport: str = "sim"
+    mutation_seed: int = 0
+    graph_seed: int = 3
+    n_ops: int = 8
+    chaos_seed: int = -1  # >= 0: run the incremental side under chaos
+
+    def describe(self) -> str:
+        extra = f" chaos_seed={self.chaos_seed}" if self.chaos_seed >= 0 else ""
+        return (
+            f"{self.algorithm} fast_path={self.fast_path} "
+            f"transport={self.transport} mutation_seed={self.mutation_seed} "
+            f"graph_seed={self.graph_seed}{extra}"
+        )
+
+
+def _mutation_base(cfg: MutationConfig):
+    """The algorithm's base graph: (n, edges, weights, undirected)."""
+    if cfg.algorithm == "pagerank":
+        # dyadic: power-of-two out-degrees + damping 0.5 make every
+        # intermediate exactly representable, so incremental replay is
+        # bit-identical (see test_chaos_differential.dyadic_graph)
+        rnd = random.Random(cfg.graph_seed)
+        n = 16
+        edges = []
+        for v in range(n):
+            deg = rnd.choice((1, 2, 4))
+            edges += [
+                (v, u)
+                for u in rnd.sample([u for u in range(n) if u != v], deg)
+            ]
+        return n, edges, None, False
+    if cfg.algorithm == "cc":
+        s, t = erdos_renyi(36, 70, seed=cfg.graph_seed)
+        pairs = sorted(
+            {(min(a, b), max(a, b)) for a, b in zip(s.tolist(), t.tolist())}
+        )
+        return 36, pairs, None, True
+    s, t = erdos_renyi(48, 130, seed=cfg.graph_seed)
+    edges = list(dict.fromkeys(zip(s.tolist(), t.tolist())))
+    weights = None
+    if cfg.algorithm == "sssp":
+        rng = np.random.default_rng(cfg.graph_seed + 1)
+        weights = rng.integers(1, 9, size=len(edges)).astype(np.float64)
+    return 48, edges, weights, False
+
+
+def random_mutation_ops(cfg: MutationConfig, n_ops: Optional[int] = None) -> tuple:
+    """Seeded random mutation ops for ``cfg`` (every subset stays valid)."""
+    n, edges, _w, undirected = _mutation_base(cfg)
+    rnd = random.Random(cfg.mutation_seed * 9176 + cfg.graph_seed)
+    n_ops = cfg.n_ops if n_ops is None else n_ops
+    present = set(edges)
+    touched: set = set()
+    ops: list[tuple] = []
+
+    if cfg.algorithm == "pagerank":
+        arcs = list(edges)
+        for _ in range(n_ops):
+            for _attempt in range(200):
+                (u1, v1), (u2, v2) = rnd.sample(arcs, 2)
+                if {(u1, v1), (u2, v2)} & touched:
+                    continue
+                if u1 == v2 or u2 == v1:  # swap would create a self-loop
+                    continue
+                if (u1, v2) in present or (u2, v1) in present:
+                    continue
+                ops.append(("swap", u1, v1, u2, v2))
+                touched |= {(u1, v1), (u2, v2), (u1, v2), (u2, v1)}
+                present -= {(u1, v1), (u2, v2)}
+                present |= {(u1, v2), (u2, v1)}
+                break
+        return tuple(ops)
+
+    weighted = cfg.algorithm == "sssp"
+    kinds = ["delete"] * 4 + ["insert"] * 4 + (["update"] * 3 if weighted else []) + ["grow"]
+
+    def fresh_pair():
+        for _attempt in range(200):
+            u, v = rnd.randrange(n), rnd.randrange(n)
+            if u == v:
+                continue
+            if undirected:
+                u, v = min(u, v), max(u, v)
+            if (u, v) in present or (u, v) in touched:
+                continue
+            return u, v
+        return None
+
+    for _ in range(n_ops):
+        kind = rnd.choice(kinds)
+        if kind == "grow":
+            ops.append(("grow", rnd.randrange(1, 4)))
+            continue
+        if kind == "insert":
+            pair = fresh_pair()
+            if pair is None:
+                continue
+            u, v = pair
+            op = ("insert", u, v, float(rnd.randrange(1, 9))) if weighted else ("insert", u, v)
+            ops.append(op)
+            touched.add((u, v))
+            present.add((u, v))
+            continue
+        candidates = [p for p in present if p not in touched]
+        if not candidates:
+            continue
+        u, v = candidates[rnd.randrange(len(candidates))]
+        touched.add((u, v))
+        if kind == "delete":
+            ops.append(("delete", u, v))
+            present.discard((u, v))
+        else:  # update
+            ops.append(("update", u, v, float(rnd.randrange(1, 9))))
+    return tuple(ops)
+
+
+def ops_to_batch(ops: Sequence[tuple], *, undirected: bool = False) -> MutationBatch:
+    """Materialize an op list as a MutationBatch (deletes are strict=False
+    so shrunk subsets never trip the missing-arc check)."""
+    batch = MutationBatch(undirected=undirected)
+    for op in ops:
+        kind = op[0]
+        if kind == "insert":
+            batch.insert_edge(op[1], op[2], weight=op[3] if len(op) > 3 else None)
+        elif kind == "delete":
+            batch.delete_edge(op[1], op[2], strict=False)
+        elif kind == "update":
+            batch.update_weight(op[1], op[2], op[3])
+        elif kind == "grow":
+            batch.add_vertices(op[1])
+        elif kind == "swap":
+            _, u1, v1, u2, v2 = op
+            batch.delete_edge(u1, v1, strict=False)
+            batch.delete_edge(u2, v2, strict=False)
+            batch.insert_edge(u1, v2)
+            batch.insert_edge(u2, v1)
+        else:
+            raise ValueError(f"unknown mutation op {op!r}")
+    return batch
+
+
+def run_mutation_config(
+    cfg: MutationConfig, ops: Optional[Sequence[tuple]] = None
+) -> list[str]:
+    """Run base algorithm -> mutate -> incremental recompute, diff against
+    a from-scratch run on the (same, now mutated) graph.  Returns the
+    mismatch list (empty = bit-identical)."""
+    n, edges, weights, _und = _mutation_base(cfg)
+    if ops is None:
+        ops = random_mutation_ops(cfg)
+    chaos = reliable = None
+    if cfg.chaos_seed >= 0:
+        chaos = ChaosConfig(
+            seed=cfg.chaos_seed, drop=0.12, duplicate=0.08,
+            reorder=0.10, reorder_window=4,
+        )
+        reliable = True
+    machine = Machine(
+        N_RANKS,
+        transport=cfg.transport,
+        fast_path=cfg.fast_path,
+        chaos=chaos,
+        reliable=reliable,
+    )
+    try:
+        if cfg.algorithm == "sssp":
+            g, wbg = build_graph(
+                n, edges, weights=weights, n_ranks=N_RANKS, partition="cyclic"
+            )
+            wm = weight_map_from_array(g, wbg)
+            machine.attach_graph(g)
+            bp = bind_sssp(machine, g, wm)
+            sssp_fixed_point(machine, g, wm, 0, bound=bp)
+            delta = machine.apply_mutations(ops_to_batch(ops), weight_map=wm)
+            rep = sssp_delta_restart(machine, bp, delta, 0)
+            inc = {"dist": rep.values}
+            m2 = Machine(N_RANKS, fast_path=cfg.fast_path)
+            scratch = {"dist": sssp_fixed_point(m2, g, wm, 0)}
+        elif cfg.algorithm == "bfs":
+            g, _ = build_graph(n, edges, n_ranks=N_RANKS, partition="cyclic")
+            machine.attach_graph(g)
+            bp = bind(bfs_pattern(), machine, g)
+            bp.map("depth")[0] = 0.0
+            fixed_point(machine, bp["hop"], [0])
+            delta = machine.apply_mutations(ops_to_batch(ops))
+            rep = bfs_delta_restart(machine, bp, delta, 0)
+            inc = {"depth": rep.values}
+            m2 = Machine(N_RANKS, fast_path=cfg.fast_path)
+            scratch = {"depth": bfs_fixed_point(m2, g, 0)}
+        elif cfg.algorithm == "cc":
+            g, _ = build_graph(
+                n, edges, directed=False, n_ranks=N_RANKS, partition="cyclic"
+            )
+            machine.attach_graph(g)
+            bp = bind(cc_label_pattern(), machine, g)
+            comp = bp.map("comp")
+            for v in g.vertices():
+                comp[v] = v
+            fixed_point(machine, bp["spread"], list(g.vertices()))
+            delta = machine.apply_mutations(ops_to_batch(ops, undirected=True))
+            rep = cc_delta_restart(machine, bp, delta)
+            inc = {"comp": rep.values}
+            m2 = Machine(N_RANKS, fast_path=cfg.fast_path)
+            scratch = {"comp": cc_label_propagation(m2, g)}
+        elif cfg.algorithm == "pagerank":
+            g, _ = build_graph(n, edges, n_ranks=N_RANKS, partition="cyclic")
+            machine.attach_graph(g)
+            ipr = IncrementalPageRank(machine, g, damping=0.5, iterations=10)
+            ipr.run()
+            delta = machine.apply_mutations(ops_to_batch(ops))
+            rep = ipr.recompute(delta)
+            inc = {"rank": rep.values}
+            m2 = Machine(N_RANKS, fast_path=cfg.fast_path)
+            scratch = {
+                "rank": pagerank(m2, g, damping=0.5, iterations=10, tol=None)
+            }
+        else:
+            raise ValueError(f"unknown mutation algorithm {cfg.algorithm!r}")
+    finally:
+        shutdown = getattr(machine, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+    return compare(scratch, inc)
+
+
+@dataclass
+class MutationFailure:
+    """An incremental recompute that diverged from from-scratch (or crashed)."""
+
+    config: MutationConfig
+    ops: tuple
+    mismatches: list[str]
+    error: Optional[str] = None
+
+    def describe(self) -> str:
+        what = self.error or "; ".join(self.mismatches)
+        return (
+            f"{self.config.describe()}\n  ops: {list(self.ops)}\n  -> {what}"
+        )
+
+
+def sweep_mutations(
+    mutation_seeds: Iterable[int] = tuple(range(4)),
+    algorithms: Sequence[str] = MUTATION_ALGOS,
+    fast_paths: Sequence[str] = FAST_PATHS,
+    transports: Sequence[str] = ("sim",),
+    chaos_seeds: Sequence[int] = (-1,),
+) -> list[MutationConfig]:
+    """Enumerate (algorithm × fast_path × transport × seed) mutation combos."""
+    cfgs: list[MutationConfig] = []
+    for algo in algorithms:
+        for fp in fast_paths:
+            for tp in transports:
+                for cs in chaos_seeds:
+                    for ms in mutation_seeds:
+                        cfgs.append(
+                            MutationConfig(
+                                algorithm=algo,
+                                fast_path=fp,
+                                transport=tp,
+                                mutation_seed=ms,
+                                chaos_seed=cs,
+                            )
+                        )
+    return cfgs
+
+
+def explore_mutations(
+    cfgs: Sequence[MutationConfig],
+    on_progress: Optional[Callable[[int, int], None]] = None,
+) -> list[MutationFailure]:
+    """Run every mutation combo and diff incremental against from-scratch."""
+    failures: list[MutationFailure] = []
+    for i, cfg in enumerate(cfgs):
+        ops = random_mutation_ops(cfg)
+        try:
+            mismatches = run_mutation_config(cfg, ops)
+            if mismatches:
+                failures.append(MutationFailure(cfg, ops, mismatches))
+        except Exception as exc:  # noqa: BLE001 - harness records, not hides
+            failures.append(MutationFailure(cfg, ops, [], error=repr(exc)))
+        if on_progress is not None:
+            on_progress(i + 1, len(cfgs))
+    return failures
+
+
+@dataclass
+class MutationShrinker:
+    """ddmin over a failing mutation-op list.
+
+    Because the generator never emits two ops on the same arc (and grown
+    vertices are isolated), every subset of an op list is a valid batch,
+    so "still fails" is a pure predicate over deterministic replays.
+    """
+
+    config: MutationConfig
+    tests_run: int = field(default=0)
+
+    def fails(self, ops: Sequence[tuple]) -> bool:
+        self.tests_run += 1
+        try:
+            return bool(run_mutation_config(self.config, tuple(ops)))
+        except Exception:  # noqa: BLE001 - a crash is a reproduction too
+            return True
+
+    def shrink(self, ops: Sequence[tuple]) -> tuple:
+        if not self.fails(list(ops)):
+            raise ValueError("shrink called with a non-failing op list")
+        return _ddmin(ops, self.fails)
 
 
 # ---------------------------------------------------------------------------
@@ -534,7 +889,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "plain chaos sweep (diffs recovered runs against crash-free "
         "oracles under the same adversary)",
     )
+    parser.add_argument(
+        "--mutations",
+        action="store_true",
+        help="run the dynamic-graph sweep instead: random mutation batches "
+        "per algorithm, incremental recompute diffed bit-identically "
+        "against from-scratch on the mutated graph (ddmin-shrinks the op "
+        "list on failure with --shrink)",
+    )
     args = parser.parse_args(argv)
+    if args.mutations:
+        cfgs = sweep_mutations(
+            mutation_seeds=tuple(args.chaos_seed + k for k in range(3))
+        )
+        print(
+            f"mutation explorer: {len(cfgs)} (algorithm × fast_path × seed) "
+            f"combos (base seed {args.chaos_seed})"
+        )
+        failures = explore_mutations(cfgs)
+        if not failures:
+            print(
+                f"OK: all {len(cfgs)} incremental recomputes bit-identical "
+                "to from-scratch on the mutated graph"
+            )
+            return 0
+        print(f"FAIL: {len(failures)}/{len(cfgs)} combos diverged", file=sys.stderr)
+        for f in failures:
+            print(f.describe(), file=sys.stderr)
+        if args.shrink and failures[0].ops:
+            shrinker = MutationShrinker(failures[0].config)
+            minimal = shrinker.shrink(failures[0].ops)
+            print(
+                f"shrunk first failure to {len(minimal)} ops: {list(minimal)}",
+                file=sys.stderr,
+            )
+            print(
+                "replay with: run_mutation_config(%r, ops=%r)"
+                % (failures[0].config, tuple(minimal)),
+                file=sys.stderr,
+            )
+        return 1
     workloads = tuple(w for w in args.workloads.split(",") if w)
     for w in workloads:
         if w not in WORKLOADS:
@@ -598,6 +992,10 @@ if __name__ == "__main__":  # pragma: no cover - CI entry point
 __all__ = [
     "ChaosConfig",
     "Failure",
+    "MUTATION_ALGOS",
+    "MutationConfig",
+    "MutationFailure",
+    "MutationShrinker",
     "N_RANKS",
     "ReliableConfig",
     "RunConfig",
@@ -607,13 +1005,18 @@ __all__ = [
     "crash_chaos",
     "default_chaos",
     "explore",
+    "explore_mutations",
     "explore_recovery",
     "main",
+    "ops_to_batch",
+    "random_mutation_ops",
     "replace",
     "run_config",
     "run_config_recover",
+    "run_mutation_config",
     "shrink_trace",
     "sweep",
+    "sweep_mutations",
     "sweep_recovery",
     "uncrashed",
 ]

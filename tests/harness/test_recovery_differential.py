@@ -12,10 +12,13 @@ is the only variable under test.
 import numpy as np
 import pytest
 
-from repro.algorithms.sssp import sssp_with_predecessors
-from repro.graph import build_graph, erdos_renyi, uniform_weights
+from repro.algorithms.sssp import bind_sssp, sssp_fixed_point, sssp_with_predecessors
+from repro.graph import MutationBatch, build_graph, erdos_renyi, uniform_weights
+from repro.props.property_map import weight_map_from_array
 from repro.runtime import ChaosConfig, Machine, run_with_recovery
+from repro.runtime.checkpoint import CheckpointError
 from repro.runtime.machine import FAST_PATHS
+from repro.strategies import sssp_delta_restart
 
 from .schedule_explorer import (
     N_RANKS,
@@ -208,3 +211,120 @@ class TestCrashTraceShrinking:
                 cfg,
                 chaos=ChaosConfig(script=(FaultEvent(12, "crash", 2),)),
             )
+
+
+class TestMutationRecovery:
+    """Crash recovery across a graph mutation (docs/DYNAMIC.md).
+
+    The driver runs SSSP to its fixed point, applies a mutation batch
+    through ``Machine.apply_mutations``, then delta-restarts.  A crash
+    anywhere along that timeline — including *inside* the incremental
+    restart — must recover to exactly the crash-free result: the re-run
+    replays the driver from scratch, the post-mutation checkpoint stays
+    parked until the replayed ``apply_mutations`` brings the rebuilt
+    graph back to the checkpointed version, and only then is it applied.
+    """
+
+    def _run(self, machine):
+        s, t = erdos_renyi(40, 110, seed=21)
+        w = uniform_weights(110, 1.0, 8.0, seed=22)
+        g, wbg = build_graph(
+            40, list(zip(s, t)), weights=w, n_ranks=4, partition="cyclic"
+        )
+        wm = weight_map_from_array(g, wbg)
+        machine.attach_graph(g)
+        bp = bind_sssp(machine, g, wm)
+        sssp_fixed_point(machine, g, wm, 0, bound=bp)
+        arcs = [(a, b) for _gid, a, b in g.edges()]
+        batch = MutationBatch()
+        batch.delete_edge(*arcs[5])
+        batch.insert_edge(7, 31, weight=1.5)
+        batch.update_weight(*arcs[20], 2.0)
+        delta = machine.apply_mutations(batch, weight_map=wm)
+        rep = sssp_delta_restart(machine, bp, delta, 0)
+        return rep.values
+
+    @pytest.mark.parametrize("seed", tuple(range(6)))
+    def test_full_adversary_crash_matches_crash_free(self, seed):
+        chaos = crash_chaos(seed)
+        m0 = Machine(4, chaos=uncrashed(chaos))
+        base = self._run(m0)
+        m1 = Machine(4, chaos=chaos, checkpoint=True)
+        got = run_with_recovery(m1, lambda: self._run(m1))
+        assert np.array_equal(base, got)
+        if m1.stats.chaos.crashes:
+            assert m1.stats.checkpoint.restores >= 1
+
+    def test_seeds_actually_crash(self):
+        crashed = 0
+        for seed in range(6):
+            m = Machine(4, chaos=crash_chaos(seed), checkpoint=True)
+            run_with_recovery(m, lambda: self._run(m))
+            crashed += bool(m.stats.chaos.crashes)
+        assert crashed >= 3, f"only {crashed}/6 seeds crashed"
+
+    def test_scripted_crash_inside_delta_restart(self):
+        """Tick 1210 lands between apply_mutations (~1201) and restart
+        convergence (~1226) on this seeded instance: the crash destroys
+        the half-relaxed incremental state specifically."""
+        m0 = Machine(4)
+        base = self._run(m0)
+        m1 = Machine(
+            4, chaos=ChaosConfig(crash_rank=1, crash_tick=1210), checkpoint=True
+        )
+        got = run_with_recovery(m1, lambda: self._run(m1))
+        assert m1.stats.chaos.crashes == 1
+        assert m1.stats.checkpoint.restores >= 1
+        assert np.array_equal(base, got)
+
+    def test_restore_refuses_rollback_across_mutation(self):
+        """A pre-mutation checkpoint must never be restored onto the
+        mutated graph: that would silently un-mutate the results."""
+        s, t = erdos_renyi(30, 80, seed=5)
+        g, _ = build_graph(30, list(zip(s, t)), n_ranks=4, partition="cyclic")
+        m = Machine(4, checkpoint=True)
+        m.attach_graph(g)
+        from repro.algorithms.bfs import bfs_pattern
+        from repro.patterns import bind
+        from repro.strategies import fixed_point
+
+        bp = bind(bfs_pattern(), m, g)
+        bp.map("depth")[0] = 0.0
+        fixed_point(m, bp["hop"], [0])
+        pre = m.checkpoints.latest()
+        assert pre is not None and pre.meta["graph_version"] == 0
+        m.apply_mutations(MutationBatch().insert_edge(3, 17))
+        with pytest.raises(CheckpointError, match="graph version"):
+            m.checkpoints.restore(pre)
+
+    def test_queued_mutation_checkpoint_round_trip(self):
+        """The pending-mutation queue is checkpoint state: a batch queued
+        but not yet applied survives capture/restore (weight maps travel
+        by registered name) and still applies at the next boundary."""
+        s, t = erdos_renyi(20, 50, seed=6)
+        w = uniform_weights(50, 1.0, 4.0, seed=7)
+        g, wbg = build_graph(
+            20, list(zip(s, t)), weights=w, n_ranks=4, partition="cyclic"
+        )
+        m = Machine(4, checkpoint=True)
+        m.attach_graph(g)
+        wm = weight_map_from_array(g, wbg)
+        wm.name = "weight"
+        m.checkpoints.register_map(wm)
+        batch = MutationBatch()
+        batch.insert_edge(2, 11, weight=2.5)
+        batch.add_vertices(1)
+        m.queue_mutations(batch, weight_map=wm)
+        m.checkpoints.capture(full=True)
+        m._pending_mutations.clear()  # simulate losing the live queue
+        m.checkpoints.restore()
+        assert len(m._pending_mutations) == 1
+        rebatch, wm_ref = m._pending_mutations[0]
+        assert wm_ref == "weight"  # travels by name, resolved at apply time
+        assert rebatch.vertices_added == 1
+        n_edges_before = g.n_edges
+        with m.epoch():
+            pass  # boundary: the queued batch applies here
+        assert g.n_vertices == 21
+        assert g.n_edges == n_edges_before + 1
+        assert g.version == 1

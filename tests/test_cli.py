@@ -47,6 +47,48 @@ class TestCommands:
         assert main(["pagerank", "--n", "40", "--m", "160", "--iterations", "5"]) == 0
         assert "top-5" in capsys.readouterr().out
 
+    def test_mutate_verifies_bit_identity(self, capsys):
+        assert main(["mutate", "--n", "80", "--m", "240", "--ops", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "mutation: graph v1" in out
+        assert "delta-restart:" in out
+        assert "bit-identical" in out
+
+    def test_mutate_no_verify(self, capsys):
+        assert (
+            main(
+                [
+                    "mutate",
+                    "--generator",
+                    "rmat",
+                    "--scale",
+                    "6",
+                    "--auto-source",
+                    "--fast-path",
+                    "vector",
+                    "--no-verify",
+                    "--mutation-seed",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "delta-restart:" in out
+        assert "verify" not in out
+
+    def test_mutate_crash_recovers_bit_identical(self, capsys):
+        """--crash through mutate: replay re-applies the mutation and the
+        recovered delta-restart still matches from-scratch."""
+        assert (
+            main(["mutate", "--n", "80", "--m", "240", "--ops", "6",
+                  "--crash", "1:300"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bit-identical" in out
+        assert "restores" in out
+
     def test_plan_all_patterns(self, capsys):
         for pat in ("sssp", "cc", "bfs", "pagerank"):
             assert main(["plan", "--pattern", pat]) == 0
