@@ -1,0 +1,106 @@
+"""Observability overhead bench — observe off / on / serving, C6 workload.
+
+The flight recorder and health watchdogs are *always on* by default, so
+their overhead budget is much tighter than telemetry's: the recorder
+appends one tuple per coarse runtime event (epoch, probe, fault — never
+per message) and the health monitor adds one guarded counter bump plus
+two list increments per delivered envelope.  This bench runs the C6
+abstraction-cost workload (pattern-compiled fixed-point SSSP on the
+standard weighted Erdős–Rényi instance) with observability fully
+disarmed (``observe=False``), in the default always-on mode, and with
+the live HTTP endpoint + heartbeat attached, asserting
+
+* results and logical accounting are bit-identical across modes, and
+* the default mode stays within the ISSUE's 1.10x budget of disarmed
+  (the serving mode gets a looser CI-safe ceiling — it runs two extra
+  daemon threads),
+
+and records the ratios in ``results/BENCH_observe.json``.
+"""
+
+import platform
+import time
+
+import numpy as np
+
+from _common import er_weighted, write_json, write_result
+from repro import Machine
+
+N = 256
+AVG_DEG = 6
+SEED = 11  # the C6 instance
+ROUNDS = 7
+MODES = ("off", "on", "serve")
+OBSERVE = {"off": False, "on": None, "serve": True}
+ON_CEILING = 1.10  # the ISSUE's hard budget for always-on observability
+SERVE_CEILING = 1.5  # loose: background scrape threads on a noisy CI box
+
+
+def _run(mode, g, wg):
+    """Best-of-ROUNDS wall clock; returns (seconds, dist, summary)."""
+    from repro.algorithms import sssp_fixed_point
+
+    best, dist, summary = float("inf"), None, None
+    for _ in range(ROUNDS):
+        m = Machine(4, observe=OBSERVE[mode])
+        try:
+            t0 = time.perf_counter()
+            dist = sssp_fixed_point(m, g, wg, 0)
+            best = min(best, time.perf_counter() - t0)
+            summary = m.stats.summary()
+            # wall-time entries are inherently noisy; logical only
+            summary = {k: v for k, v in summary.items() if "seconds" not in k}
+        finally:
+            m.shutdown()
+    return best, dist, summary
+
+
+def test_observe_overhead(benchmark):
+    g, wg = er_weighted(n=N, avg_deg=AVG_DEG, seed=SEED)
+    benchmark.pedantic(lambda: _run("off", g, wg), rounds=1, iterations=1)
+
+    times, dists, summaries = {}, {}, {}
+    for mode in MODES:
+        times[mode], dists[mode], summaries[mode] = _run(mode, g, wg)
+
+    # observing never changes the answer or the message accounting
+    for mode in MODES[1:]:
+        assert np.array_equal(dists["off"], dists[mode]), mode
+        assert summaries[mode] == summaries["off"], mode
+
+    ratio = {mode: times[mode] / times["off"] for mode in MODES}
+    assert ratio["on"] <= ON_CEILING, ratio
+    assert ratio["serve"] <= SERVE_CEILING, ratio
+
+    rows = [
+        {
+            "observe": mode,
+            "seconds": round(times[mode], 4),
+            "overhead_vs_off": round(ratio[mode], 3),
+        }
+        for mode in MODES
+    ]
+    write_json(
+        "BENCH_observe",
+        {
+            "workload": {
+                "algorithm": "sssp-fixed-point (pattern-compiled, C6)",
+                "n": N,
+                "avg_deg": AVG_DEG,
+                "seed": SEED,
+            },
+            "rounds": ROUNDS,
+            "python": platform.python_version(),
+            "modes": rows,
+            "ceilings": {"on": ON_CEILING, "serve": SERVE_CEILING},
+        },
+    )
+    body = "\n".join(
+        f"{r['observe']:<8} {r['seconds']:>8.4f}s   "
+        f"{r['overhead_vs_off']:>5.2f}x" for r in rows
+    )
+    write_result(
+        "BENCH_observe",
+        "observability overhead (C6 workload: pattern SSSP, ER n=256)",
+        body,
+    )

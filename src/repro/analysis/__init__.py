@@ -2,6 +2,7 @@
 
 from .critical_path import PathReport, chain_of, critical_paths, render_critical_paths
 from .metrics import RunReport, collect_report, format_table
+from .serve import MetricsServer, scrape
 from .telemetry_export import (
     parse_prometheus,
     to_chrome_trace,
@@ -23,6 +24,7 @@ from .validation import (
 __all__ = [
     "HAVE_NETWORKX",
     "MessageTracer",
+    "MetricsServer",
     "PathReport",
     "RunReport",
     "TraceEvent",
@@ -36,6 +38,7 @@ __all__ = [
     "networkx_sssp",
     "parse_prometheus",
     "render_critical_paths",
+    "scrape",
     "to_chrome_trace",
     "to_networkx",
     "to_prometheus",

@@ -309,6 +309,54 @@ def to_prometheus(machine) -> str:
         value = getattr(stats.native, fld.name)
         w.sample(metric, {}, f"{value:.9f}" if isinstance(value, float) else value)
 
+    # -- live health (reflective over HealthStats) ---------------------------
+    health = getattr(machine, "health", None)
+    if health is not None and health.enabled:
+        # Scrape-time refresh: memory accounting walks property maps, shm
+        # segments, and the kernel-cache directory here — never on the
+        # hot path.
+        health.refresh_skew()
+        health.refresh_memory()
+        for fld in dataclasses.fields(stats.health):
+            metric = f"repro_health_{fld.name}"
+            kind = (
+                "gauge" if fld.name.endswith(("_bytes", "_skew")) else "counter"
+            )
+            w.declare(metric, kind, f"HealthStats.{fld.name}")
+            value = getattr(stats.health, fld.name)
+            w.sample(
+                metric,
+                {},
+                f"{value:.9f}" if isinstance(value, float) else value,
+            )
+        w.declare(
+            "repro_health_rank_messages",
+            "counter",
+            "logical payloads delivered per rank",
+        )
+        w.declare(
+            "repro_health_rank_handler_seconds",
+            "counter",
+            "handler wall seconds per rank",
+        )
+        for r in range(machine.n_ranks):
+            labels = {"rank": str(r)}
+            w.sample("repro_health_rank_messages", labels, health.msgs_by_rank[r])
+            w.sample(
+                "repro_health_rank_handler_seconds",
+                labels,
+                f"{health.handler_seconds_by_rank[r]:.9f}",
+            )
+        w.declare(
+            "repro_health_watchdog_firing",
+            "gauge",
+            "1 while the named watchdog is firing",
+        )
+        for name, v in sorted(health.verdicts.items()):
+            w.sample(
+                "repro_health_watchdog_firing", {"watchdog": name}, int(v.firing)
+            )
+
     # -- telemetry phase counters --------------------------------------------
     counters = tel.counters_snapshot()
     if counters:
@@ -342,12 +390,16 @@ def parse_prometheus(text: str) -> tuple[dict, list[str]]:
     Returns ``(samples, errors)`` where ``samples`` maps
     ``(metric, frozenset(label items))`` to a float value and ``errors``
     lists lint problems: samples without a preceding TYPE, malformed
-    metric/label names, non-numeric values, duplicate samples, and HELP/
-    TYPE lines for metrics that never produce a sample.
+    metric/label names, non-numeric values, duplicate samples, duplicate
+    HELP/TYPE declarations, HELP/TYPE lines appearing *after* the
+    metric's samples (Prometheus requires declaration-first grouping),
+    HELP without a matching TYPE, and HELP/TYPE lines for metrics that
+    never produce a sample.
     """
     samples: dict = {}
     errors: list[str] = []
     typed: set[str] = set()
+    helped: set[str] = set()
     sampled: set[str] = set()
     for lineno, raw in enumerate(text.splitlines(), 1):
         line = raw.rstrip()
@@ -361,6 +413,14 @@ def parse_prometheus(text: str) -> tuple[dict, list[str]]:
             name = parts[2]
             if not _METRIC_RE.match(name):
                 errors.append(f"line {lineno}: bad metric name {name!r}")
+            if name in sampled:
+                errors.append(
+                    f"line {lineno}: {parts[1]} for {name} after its samples"
+                )
+            if parts[1] == "HELP":
+                if name in helped:
+                    errors.append(f"line {lineno}: duplicate HELP for {name}")
+                helped.add(name)
             if parts[1] == "TYPE":
                 if parts[3] not in ("counter", "gauge", "histogram", "summary", "untyped"):
                     errors.append(f"line {lineno}: bad metric type {parts[3]!r}")
@@ -401,4 +461,6 @@ def parse_prometheus(text: str) -> tuple[dict, list[str]]:
         sampled.add(name)
     for name in typed - sampled:
         errors.append(f"metric {name} declared but has no samples")
+    for name in helped - typed:
+        errors.append(f"metric {name} has HELP but no TYPE")
     return samples, errors

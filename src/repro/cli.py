@@ -6,6 +6,8 @@
     python -m repro pagerank --generator barabasi_albert --n 200 --m-attach 3
     python -m repro mutate --generator rmat --scale 9 --ops 8
     python -m repro plan  --pattern sssp           # print a compiled plan
+    python -m repro serve-metrics --port 9464      # live /metrics endpoint
+    python -m repro flight /tmp/repro-flight/*.jsonl   # merge crash dumps
 
 Every run prints the result summary and the machine's message statistics
 (the paper's cost model).  Deterministic given ``--seed``.
@@ -134,20 +136,35 @@ def _print_checkpoint_report(machine: Machine) -> None:
         print(machine.stats.checkpoint_report())
 
 
-def _write_outputs(args, machine: Machine) -> None:
-    """Honour --trace-out / --metrics-out after a command ran."""
+def _write_outputs(args, machine: Machine) -> int:
+    """Honour --trace-out / --metrics-out after a command ran.
+
+    Every written artifact is run back through its validator
+    (``validate_chrome_trace`` / ``parse_prometheus``); violations are
+    printed to stderr and counted so commands can exit non-zero instead
+    of silently shipping malformed traces or metrics to CI."""
+    violations = 0
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
-        from .analysis import write_chrome_trace
+        from .analysis import validate_chrome_trace, write_chrome_trace
 
         obj = write_chrome_trace(machine, trace_out)
+        errors = validate_chrome_trace(obj)
+        for err in errors:
+            print(f"trace: VIOLATION: {err}", file=sys.stderr)
+        violations += len(errors)
         print(f"trace: wrote {len(obj['traceEvents'])} events to {trace_out}")
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out:
-        from .analysis import write_prometheus
+        from .analysis import parse_prometheus, write_prometheus
 
         text = write_prometheus(machine, metrics_out)
+        _samples, errors = parse_prometheus(text)
+        for err in errors:
+            print(f"metrics: VIOLATION: {err}", file=sys.stderr)
+        violations += len(errors)
         print(f"metrics: wrote {len(text.splitlines())} lines to {metrics_out}")
+    return violations
 
 
 def _print_report(name: str, machine: Machine, graph, **extra) -> None:
@@ -186,8 +203,7 @@ def cmd_sssp(args) -> int:
     )
     _print_report(algo, machine, graph, reachable=reachable)
     _print_checkpoint_report(machine)
-    _write_outputs(args, machine)
-    return 0
+    return 1 if _write_outputs(args, machine) else 0
 
 
 def cmd_bfs(args) -> int:
@@ -199,8 +215,7 @@ def cmd_bfs(args) -> int:
     reachable = int(np.isfinite(depth).sum())
     print(f"bfs: reachable {reachable}/{graph.n_vertices}")
     _print_report("bfs", machine, graph, reachable=reachable)
-    _write_outputs(args, machine)
-    return 0
+    return 1 if _write_outputs(args, machine) else 0
 
 
 def cmd_cc(args) -> int:
@@ -217,8 +232,7 @@ def cmd_cc(args) -> int:
         f"collisions {details['collisions']}, jump rounds {details['jump_rounds']}"
     )
     _print_report("cc", machine, graph, components=n_comp)
-    _write_outputs(args, machine)
-    return 0
+    return 1 if _write_outputs(args, machine) else 0
 
 
 def cmd_pagerank(args) -> int:
@@ -230,8 +244,7 @@ def cmd_pagerank(args) -> int:
     top = np.argsort(pr)[::-1][:5]
     print("pagerank top-5:", [(int(v), round(float(pr[v]), 5)) for v in top])
     _print_report("pagerank", machine, graph)
-    _write_outputs(args, machine)
-    return 0
+    return 1 if _write_outputs(args, machine) else 0
 
 
 def cmd_trace(args) -> int:
@@ -276,8 +289,7 @@ def cmd_trace(args) -> int:
         print(f"  {kind:<8} {summ['by_kind'][kind]}")
     print()
     print(render_critical_paths(critical_paths(tel.snapshot_spans())))
-    _write_outputs(args, machine)
-    return 0
+    return 1 if _write_outputs(args, machine) else 0
 
 
 def cmd_checkpoint(args) -> int:
@@ -377,8 +389,92 @@ def cmd_mutate(args) -> int:
             status = 1
     _print_report("mutate", machine, graph, reachable=reachable)
     _print_checkpoint_report(machine)
-    _write_outputs(args, machine)
+    if _write_outputs(args, machine):
+        status = status or 1
     return status
+
+
+def cmd_flight(args) -> int:
+    """Merge flight-recorder dumps into one causally-ordered timeline."""
+    import json
+
+    from .runtime import (
+        load_flight_dump,
+        merge_flight_events,
+        render_flight_timeline,
+    )
+
+    try:
+        dumps = [load_flight_dump(p) for p in args.dumps]
+    except (OSError, ValueError) as exc:
+        print(f"flight: {exc}", file=sys.stderr)
+        return 1
+    events = merge_flight_events(dumps)
+    if args.kind:
+        wanted = set(args.kind)
+        events = [ev for ev in events if ev.get("kind") in wanted]
+    if args.tail:
+        events = events[-args.tail:]
+    print(
+        f"flight: {len(events)} events from {len(dumps)} dump(s), "
+        f"{len({ev.get('rank') for ev in events})} rank(s)"
+    )
+    print(render_flight_timeline(events))
+    if args.out:
+        with open(args.out, "w") as fh:
+            for ev in events:
+                fh.write(json.dumps(ev, sort_keys=True) + "\n")
+        print(f"flight: wrote merged timeline to {args.out}")
+    return 0
+
+
+def cmd_serve_metrics(args) -> int:
+    """Loop a workload with the live observability endpoint attached.
+
+    Binds the graph and SSSP handlers once, then re-runs the algorithm
+    --loops times (0 = until interrupted), pausing --pause seconds
+    between runs so /metrics, /healthz and /status stay scrape-able
+    mid-run — the shape CI uses to probe a live machine."""
+    import time
+
+    from .algorithms.sssp import bind_sssp, sssp_fixed_point
+    from .props.property_map import weight_map_from_array
+
+    level = getattr(args, "telemetry", "off")
+    machine = Machine(
+        n_ranks=args.ranks,
+        transport=args.transport,
+        fast_path=args.fast_path,
+        schedule=args.schedule,
+        seed=args.seed,
+        detector=args.detector,
+        routing=args.routing,
+        telemetry="counters" if level == "off" else level,
+        observe=args.port,
+    )
+    graph, weights = _make_graph(args, directed=True)
+    wm = weight_map_from_array(graph, weights)
+    machine.attach_graph(graph)
+    bound = bind_sssp(machine, graph, wm)
+    obs = machine.observer
+    loops = "until interrupted" if args.loops == 0 else f"{args.loops} loop(s)"
+    print(
+        f"serve-metrics: listening on {obs.url} "
+        f"(/metrics /healthz /status), running sssp {loops}"
+    )
+    sys.stdout.flush()
+    done = 0
+    try:
+        while args.loops == 0 or done < args.loops:
+            sssp_fixed_point(machine, graph, wm, args.source, bound=bound)
+            done += 1
+            if args.pause:
+                time.sleep(args.pause)
+    except KeyboardInterrupt:
+        pass
+    print(f"serve-metrics: completed {done} loop(s)")
+    machine.shutdown()
+    return 0
 
 
 def cmd_plan(args) -> int:
@@ -580,6 +676,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the from-scratch bit-identity check",
     )
     p_mut.set_defaults(fn=cmd_mutate)
+
+    p_flight = sub.add_parser(
+        "flight",
+        help="merge flight-recorder dumps into one causal timeline "
+        "(docs/OBSERVABILITY.md)",
+    )
+    p_flight.add_argument(
+        "dumps", nargs="+", metavar="DUMP.jsonl",
+        help="flight dump files (e.g. from $REPRO_FLIGHT_DIR)",
+    )
+    p_flight.add_argument(
+        "--kind", action="append", default=None, metavar="KIND",
+        help="only show events of this kind (repeatable)",
+    )
+    p_flight.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="only the newest N merged events",
+    )
+    p_flight.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the merged timeline as JSONL",
+    )
+    p_flight.set_defaults(fn=cmd_flight)
+
+    p_serve = sub.add_parser(
+        "serve-metrics",
+        help="loop SSSP with the live /metrics /healthz /status endpoint",
+    )
+    add_common(p_serve)
+    p_serve.add_argument("--source", type=int, default=0)
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP port (0: ephemeral; printed at startup)",
+    )
+    p_serve.add_argument(
+        "--loops", type=int, default=3,
+        help="workload repetitions (0: loop until interrupted)",
+    )
+    p_serve.add_argument(
+        "--pause", type=float, default=0.2,
+        help="seconds to sleep between repetitions",
+    )
+    p_serve.set_defaults(fn=cmd_serve_metrics)
 
     p_plan = sub.add_parser("plan", help="print a pattern's compiled plan")
     p_plan.add_argument(

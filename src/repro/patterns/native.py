@@ -369,6 +369,9 @@ def build_native_plan(ba) -> Optional[NativePlan]:
     kernels, origin = load_kernels(spec, generate_source, jit, stats=machine.stats)
     if origin == "compile":
         machine.stats.count_native("jit_seconds", perf_counter() - t0)
+    machine.flight.record(
+        "kernel_compile", key=cache_key(spec), origin=origin
+    )
     return NativePlan(
         vector=vp,
         spec=spec,

@@ -25,6 +25,23 @@ from .checkpoint import (
 )
 from .coalescing import CoalescingLayer
 from .epoch import Epoch
+from .flight import (
+    FlightConfig,
+    FlightRecorder,
+    load_flight_dump,
+    merge_flight_events,
+    render_flight_timeline,
+)
+from .health import (
+    WATCHDOGS,
+    HealthConfig,
+    HealthMonitor,
+    HealthStats,
+    ObserveConfig,
+    Verdict,
+    gini,
+    resolve_observe,
+)
 from .machine import Machine, SpmdContext, SpmdEpoch
 from .message import Envelope, MessageType
 from .process import ProcessTransport
@@ -83,8 +100,16 @@ __all__ = [
     "EpochStats",
     "FAULT_KINDS",
     "FaultEvent",
+    "FlightConfig",
+    "FlightRecorder",
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthStats",
     "LEVELS",
+    "ObserveConfig",
     "PHASES",
+    "Verdict",
+    "WATCHDOGS",
     "RankCrashed",
     "RecoveryCoordinator",
     "RecoveryError",
@@ -116,10 +141,15 @@ __all__ = [
     "WireBatch",
     "WireCodec",
     "WireStats",
+    "gini",
+    "load_flight_dump",
     "max_payload",
+    "merge_flight_events",
     "min_payload",
     "naive_wire_bytes",
     "pickled_envelope_bytes",
+    "render_flight_timeline",
+    "resolve_observe",
     "run_with_recovery",
     "stable_dumps",
     "stable_loads",

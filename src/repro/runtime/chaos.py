@@ -346,6 +346,10 @@ class ChaosTransport:
                         "ack": is_ack,
                     },
                 )
+            self.machine.flight.record(
+                "fault", rank=env.dest, fault=kind, arg=arg,
+                tick=self._tick, ack=is_ack,
+            )
         if kind == "split":
             if not splittable:  # scripted fault on an ineligible envelope
                 self._admit(env, batch)
@@ -455,6 +459,10 @@ class ChaosTransport:
                             "seq": renv.seq,
                         },
                     )
+                self.machine.flight.record(
+                    "retry", rank=renv.dest, tick=self._tick,
+                    channel=list(renv.channel), msg_seq=renv.seq,
+                )
                 self._offer(renv, batch)
 
     # -- crashes --------------------------------------------------------------
@@ -504,7 +512,16 @@ class ChaosTransport:
                     "ack": False,
                 },
             )
-        raise RankCrashed(rank, self._tick, len(self.machine.stats.epochs))
+        flight = self.machine.flight
+        flight.record(
+            "crash", rank=rank, tick=self._tick,
+            epoch=len(self.machine.stats.epochs),
+        )
+        err = RankCrashed(rank, self._tick, len(self.machine.stats.epochs))
+        # The black box ships with the exception; Epoch.__exit__ sees the
+        # attribute and skips its own auto-dump (one dump per crash).
+        err.flight_dump = flight.auto_dump("crash")
+        raise err
 
     def _clear_rank_mailbox(self, rank: int) -> None:
         """Dump a dead rank's undelivered mail (its memory is gone)."""

@@ -648,6 +648,9 @@ class CheckpointManager:
                         "full": full,
                     },
                 )
+            m.flight.record(
+                "checkpoint", index=ckpt.index, epoch=ckpt.epoch, full=full
+            )
             return ckpt
         finally:
             if ctx is not None:
@@ -843,6 +846,7 @@ class CheckpointManager:
                     rank=-1,
                     args={"index": ckpt.index, "epoch": ckpt.epoch},
                 )
+            m.flight.record("restore", index=ckpt.index, epoch=ckpt.epoch)
             return ckpt
         finally:
             if ctx is not None:

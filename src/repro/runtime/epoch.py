@@ -60,25 +60,46 @@ class Epoch:
         self.machine._active_epoch = self
         self.machine.stats.begin_epoch()
         self.machine.telemetry.epoch_begin()
+        self.machine.flight.record(
+            "epoch_enter", epoch=len(self.machine.stats.epochs)
+        )
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.machine._active_epoch = None
+        # The epoch stays "active" through the terminal drain below: the
+        # stall watchdog only arms inside an active epoch, and the drain
+        # is exactly where a distributed run can wedge.  Checkpoint
+        # capture/restore and mutation application (which refuse to run
+        # mid-epoch) all happen after the flag clears.
         if exc_type is not None:
+            self.machine._active_epoch = None
             self.machine.telemetry.epoch_end()
+            self._record_abort(exc_type, exc)
             return  # propagate; don't try to finish a failed epoch
         try:
             self.machine.transport.finish_epoch(self.machine.detector)
-        except BaseException:
+        except BaseException as err:
             # finish_epoch can raise (e.g. a rank crash while draining);
             # close the telemetry epoch phase so spans stay balanced for
-            # the recovery path.
+            # the recovery path (restore refuses mid-epoch, so clear the
+            # flag before the coordinator sees the exception).
+            self.machine._active_epoch = None
             self.machine.telemetry.epoch_end()
+            self._record_abort(type(err), err)
             raise
+        self.machine._active_epoch = None
         self.machine.telemetry.epoch_end()
         self._account_control()
         self.result_stats = self.machine.stats.end_epoch()
         self.finished = True
+        self.machine.flight.record(
+            "epoch_exit",
+            epoch=self.result_stats.epoch_index,
+            sent=self.result_stats.sent_total,
+            handled=self.result_stats.handler_calls,
+            wall=round(self.result_stats.wall_seconds, 6),
+        )
+        self.machine.health.on_epoch_end(self.result_stats)
         ckpts = self.machine.checkpoints
         if ckpts is not None:
             ckpts.maybe_capture()
@@ -87,6 +108,22 @@ class Epoch:
         # queue together with the pre-mutation state.
         if self.machine._pending_mutations:
             self.machine._apply_pending_mutations()
+
+    def _record_abort(self, exc_type, exc) -> None:
+        """Black-box the failed epoch: record the abort and auto-dump the
+        flight recorder so the last N events survive even if the process
+        dies before the recovery coordinator regains control."""
+        flight = self.machine.flight
+        flight.record(
+            "epoch_abort",
+            epoch=len(self.machine.stats.epochs),
+            error=exc_type.__name__ if exc_type is not None else "unknown",
+            detail=str(exc)[:200] if exc is not None else "",
+        )
+        # A chaos rank crash already dumped (the path rides on the
+        # exception); dump here only for every *other* unwinding error.
+        if getattr(exc, "flight_dump", None) is None:
+            flight.auto_dump("epoch_abort")
 
     # -- primitives -----------------------------------------------------------
     def flush(self, budget: Optional[int] = None) -> int:
@@ -113,9 +150,12 @@ class Epoch:
         # (see _account_control), so a probe here is not double-counted.
         tel = self.machine.telemetry
         if not tel.enabled:
-            return self.machine.detector.probe()
-        with tel.phase("probe"):
-            return self.machine.detector.probe()
+            proven = self.machine.detector.probe()
+        else:
+            with tel.phase("probe"):
+                proven = self.machine.detector.probe()
+        self.machine.flight.record_probe(proven)
+        return proven
 
     def _account_control(self) -> None:
         det = self.machine.detector

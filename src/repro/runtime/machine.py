@@ -38,6 +38,8 @@ from .chaos import ChaosConfig, ChaosTransport
 from .checkpoint import CheckpointConfig, CheckpointManager
 from .coalescing import CoalescingLayer
 from .epoch import Epoch
+from .flight import FlightRecorder
+from .health import HealthMonitor, ObserveConfig, resolve_observe
 from .message import MessageRegistry, MessageType
 from .process import ProcessTransport
 from .reductions import ReductionLayer
@@ -96,6 +98,7 @@ class Machine:
         reliable: Union[ReliableConfig, bool, None] = None,
         telemetry: Union[str, TelemetryConfig, None] = None,
         checkpoint: Union[CheckpointConfig, bool, None] = None,
+        observe: Union[ObserveConfig, bool, int, str, None] = None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError("n_ranks must be >= 1")
@@ -131,6 +134,24 @@ class Machine:
         #: Causal telemetry hub (docs/OBSERVABILITY.md).  Always present;
         #: its level ("off" | "counters" | "spans") decides what it records.
         self.telemetry: Telemetry = make_telemetry(self, telemetry)
+        # -- live observability (docs/OBSERVABILITY.md) ----------------------
+        #: Resolved ``observe=`` argument: None (default) arms the flight
+        #: recorder and health watchdog counters; True / a port number /
+        #: an ObserveConfig additionally serves /metrics, /healthz and
+        #: /status over HTTP with a stall heartbeat; False disarms all of
+        #: it (A/B overhead benches).
+        self.observe: ObserveConfig = resolve_observe(observe)
+        #: Always-on black box of runtime events (dumped on crashes).
+        self.flight = FlightRecorder(
+            self, self.observe.flight, enabled=self.observe.enabled
+        )
+        #: Watchdogs + per-rank load accounting; hooks in the transport
+        #: and epoch paths check ``enabled`` before touching it.
+        self.health = HealthMonitor(
+            self, self.observe.health, enabled=self.observe.enabled
+        )
+        #: Background HTTP endpoint, when serving (analysis/serve.py).
+        self.observer = None
         self._active_epoch: Optional[Epoch] = None
         self.graph = None  # set by attach_graph
         if transport == "sim":
@@ -188,6 +209,24 @@ class Machine:
             self.enable_checkpoints(
                 checkpoint if isinstance(checkpoint, CheckpointConfig) else None
             )
+        if self.observe.enabled and self.observe.serve:
+            self.start_observer()
+
+    def start_observer(self):
+        """Start the live HTTP endpoint + stall heartbeat (idempotent).
+
+        Returns the :class:`~repro.analysis.serve.MetricsServer`; its
+        ``port`` attribute carries the bound (possibly ephemeral) port.
+        """
+        if self.observer is None:
+            from ..analysis.serve import MetricsServer
+
+            self.observer = MetricsServer(
+                self, host=self.observe.host, port=self.observe.port
+            )
+            self.observer.start()
+            self.health.start_heartbeat()
+        return self.observer
 
     def _resolve_native(self, backend: Optional[str]) -> str:
         """Resolve the native-tier backend; returns the effective fast path.
@@ -354,6 +393,13 @@ class Machine:
             for pm in list(self.checkpoints.maps().values()):
                 self.checkpoints.register_map(pm)
         self.stats.count_mutation(delta)
+        self.flight.record(
+            "mutation",
+            version=delta.version,
+            inserted=len(delta.inserted),
+            removed=len(delta.removed),
+            updated=len(delta.updated),
+        )
         tel = self.telemetry
         if tel.enabled:
             tel.event(
@@ -463,6 +509,10 @@ class Machine:
 
     # -- lifecycle ---------------------------------------------------------------
     def shutdown(self) -> None:
+        self.health.stop_heartbeat()
+        if self.observer is not None:
+            self.observer.stop()
+            self.observer = None
         self.transport.shutdown()
 
     def __enter__(self) -> "Machine":

@@ -69,6 +69,7 @@ import numpy as np
 from .chaos import derive_rng
 from .message import Envelope
 from .reliable import AckEnvelope
+from .health import HealthStats
 from .stats import ChaosStats, EpochStats, NativeStats, TypeStats
 from .termination import BLACK, FourCounterDetector, SafraDetector
 from .transport import HandlerContext, Transport
@@ -458,6 +459,14 @@ class ProcessTransport(Transport):
         extra = int(self._extra_np.sum())
         return max(0, posted - done) + extra
 
+    def progress_counter(self) -> int:
+        """Live worker progress for the parent's health heartbeat: the
+        shared done-ledger sum advances with every envelope a worker
+        handles, so mid-epoch progress is visible without any IPC."""
+        if not self._started:
+            return 0
+        return int(self._done_np.sum())
+
     # ------------------------------------------------------------------
     # checkpointing: capture-only
     # ------------------------------------------------------------------
@@ -689,6 +698,17 @@ class ProcessTransport(Transport):
         # the recovery differential never sees them) -------------------
         for f, v in blob.get("native", {}).items():
             setattr(st.native, f, getattr(st.native, f) + v)
+        # -- health counters + per-rank load accounting (additive, like
+        # native; the gauge fields are parent-computed, so workers always
+        # ship zeros there and the additive fold is exact) --------------
+        for f, v in blob.get("health", {}).items():
+            setattr(st.health, f, getattr(st.health, f) + v)
+        if blob.get("health_ranks"):
+            machine.health.merge_state(blob["health_ranks"])
+        # -- flight-recorder rings (worker events fold into the parent's
+        # black box with namespaced sequence numbers) ------------------
+        if blob.get("flight"):
+            machine.flight.merge_state(blob["flight"])
         # -- pattern action counters ----------------------------------
         for type_id, d in blob.get("actions", {}).items():
             ba = self._bound_action(int(type_id))
@@ -845,6 +865,15 @@ class ProcessTransport(Transport):
         # the parent's bind-time compile counts, which the parent already
         # reports; this worker ships only what it does itself.
         st.native = NativeStats()
+        # Health/flight observability: fresh worker-side accounting (the
+        # fork inherited parent counters already reported parent-side);
+        # sequence numbers are rank-namespaced like telemetry span ids,
+        # and neither the heartbeat thread nor the HTTP observer survives
+        # the fork.
+        st.health = HealthStats()
+        machine.health.reset_after_fork()
+        machine.flight.reset_after_fork(rank)
+        machine.observer = None
         # -- detector: shared-counter shim (parent reconstructs) --------
         machine.detector = _SharedDetectorShim(self._det_sent_np, self._det_recv_np)
         # -- codec: fresh instance so a respawned worker doesn't inherit
@@ -947,6 +976,14 @@ class ProcessTransport(Transport):
     def _ship_sync(self) -> None:
         machine = self.machine
         tel = machine.telemetry
+        # Black-box the worker's epoch contribution before exporting, so
+        # every sync ships at least one (seq-namespaced) worker event and
+        # merged timelines show per-worker drain boundaries.
+        machine.flight.record(
+            "sync",
+            rank=self._me,
+            handled=machine.stats.health.progress_ticks,
+        )
         blob: dict = {
             "rank": self._me,
             "stats": machine.stats.checkpoint_state(),
@@ -956,6 +993,12 @@ class ProcessTransport(Transport):
                 f: getattr(machine.stats.native, f)
                 for f in NativeStats.__dataclass_fields__
             },
+            "health": {
+                f: getattr(machine.stats.health, f)
+                for f in HealthStats.__dataclass_fields__
+            },
+            "health_ranks": machine.health.export_state(),
+            "flight": machine.flight.export_state(),
             "wire": self.codec.stats.snapshot(),
             "wire_schemas": {
                 tid: (sch.name, sch.col_codes, sch.n_binary, sch.n_pickle)
@@ -990,6 +1033,11 @@ class ProcessTransport(Transport):
         st.total = EpochStats(epoch_index=-1)
         st.chaos = ChaosStats()
         st.native = NativeStats()
+        st.health = HealthStats()
+        machine.health.reset_after_fork()
+        # Like telemetry: sequence numbers keep advancing, only the
+        # buffered events reset (they were just shipped to the parent).
+        machine.flight.clear()
         for mt in machine.registry:
             ba = self._bound_action(mt.type_id)
             if ba is not None:

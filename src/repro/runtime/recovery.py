@@ -33,6 +33,9 @@ class RankCrashed(RuntimeError):
         self.rank = rank
         self.tick = tick
         self.epoch = epoch
+        #: JSONL path of the flight-recorder black box dumped when this
+        #: crash fired (set by the chaos transport; None when disabled).
+        self.flight_dump = None
 
 
 class RecoveryError(RuntimeError):
@@ -64,6 +67,10 @@ class RecoveryCoordinator:
         self.machine = machine
         self.max_restarts = max_restarts
         self.recoveries = 0
+        #: One dict per recovery performed, newest last; each carries the
+        #: crash coordinates and the flight-recorder dump path (the black
+        #: box of the last N runtime events before the crash).
+        self.reports: list[dict] = []
 
     def recover(self, crash: RankCrashed) -> None:
         """Roll back to the latest checkpoint after ``crash``."""
@@ -96,6 +103,27 @@ class RecoveryCoordinator:
                     "lost_epochs": lost,
                 },
             )
+        flight = getattr(m, "flight", None)
+        dump = crash.flight_dump
+        if flight is not None:
+            if dump is None:
+                dump = flight.last_dump
+            flight.record(
+                "recovery",
+                rank=crash.rank,
+                rolled_back_to_epoch=ckpt.epoch,
+                lost_epochs=lost,
+            )
+        self.reports.append(
+            {
+                "rank": crash.rank,
+                "tick": crash.tick,
+                "epoch": crash.epoch,
+                "rolled_back_to_epoch": ckpt.epoch,
+                "lost_epochs": lost,
+                "flight_dump": dump,
+            }
+        )
         self.recoveries += 1
 
     def run(self, fn: Callable[[], Any]) -> Any:

@@ -377,6 +377,7 @@ class Telemetry:
         machine.detector.on_receive(env.dest)
         st = self._stack()
         t0 = perf_counter()
+        n = 1
         if batch:
             payloads = env.payload
             n = len(payloads)
@@ -450,7 +451,11 @@ class Telemetry:
                     mtype.handler(ctx, env.payload)
                 finally:
                     st.pop()
-        stats.add_handler_time(mtype.name, perf_counter() - t0)
+        dt = perf_counter() - t0
+        stats.add_handler_time(mtype.name, dt)
+        health = machine.health
+        if health.enabled:
+            health.note_delivery(env.dest, n, dt)
 
     # -- wire observers (MessageTracer et al.) --------------------------------------
     def add_wire_observer(self, fn) -> None:

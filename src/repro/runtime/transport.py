@@ -216,9 +216,14 @@ class Transport:
                 for item in payloads:
                     handler(ctx, item)
         else:
+            n = 1
             stats.count_handler(mtype.name)
             mtype.handler(ctx, env.payload)
-        stats.add_handler_time(mtype.name, perf_counter() - t0)
+        dt = perf_counter() - t0
+        stats.add_handler_time(mtype.name, dt)
+        health = self.machine.health
+        if health.enabled:
+            health.note_delivery(env.dest, n, dt)
 
     def context_for(self, rank: int) -> HandlerContext:
         raise NotImplementedError
@@ -237,16 +242,17 @@ class Transport:
     def finish_epoch(self, detector) -> None:
         """Drain and run the termination protocol until quiescence is proven."""
         tel = self.machine.telemetry
+        flight = self.machine.flight
         while True:
             self.drain()
             if not tel.enabled:
-                if detector.probe():
-                    return
+                proven = detector.probe()
             else:
                 with tel.phase("probe"):
                     proven = detector.probe()
-                if proven:
-                    return
+            flight.record_probe(proven)
+            if proven:
+                return
 
     def shutdown(self) -> None:  # pragma: no cover - trivial default
         """Release transport resources (threads, queues)."""

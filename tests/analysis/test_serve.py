@@ -1,0 +1,156 @@
+"""Live HTTP observability endpoint: routes, lint-clean scrapes, and the
+/healthz stall flip on every transport."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.algorithms.sssp import sssp_fixed_point
+from repro.analysis import MetricsServer, parse_prometheus, scrape
+from repro.graph import build_graph, erdos_renyi, uniform_weights
+from repro.runtime import HealthConfig, Machine, ObserveConfig
+
+
+def small_instance(n=60, m=160, seed=7, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1.0, 10.0, seed=seed + 1)
+    return build_graph(n, list(zip(s, t)), weights=w, n_ranks=n_ranks)
+
+
+def _nap_handler(ctx, payload):
+    # payload = (dest_key, seconds): hold the rank hostage so no progress
+    # tick can land while the stall watchdog's deadline expires.
+    time.sleep(payload[1])
+
+
+def _poll(url: str, want: int, timeout: float) -> bool:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, _ = scrape(url, timeout=5.0)
+        if status == want:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# routes
+# ---------------------------------------------------------------------------
+
+
+class TestRoutes:
+    @pytest.fixture()
+    def served(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4, telemetry="counters", observe=True)
+        sssp_fixed_point(m, g, wbg, 0)
+        try:
+            yield m, m.observer.url
+        finally:
+            m.shutdown()
+
+    def test_metrics_scrape_is_lint_clean(self, served):
+        m, url = served
+        status, body = scrape(url + "/metrics")
+        assert status == 200
+        samples, errors = parse_prometheus(body)
+        assert errors == [], errors
+        flat = {n for (n, labels), _ in samples.items()}
+        assert "repro_health_progress_ticks" in flat
+        assert "repro_sent_total" in flat or any(
+            n.startswith("repro_") for n in flat
+        )
+
+    def test_healthz_healthy(self, served):
+        _, url = served
+        status, body = scrape(url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["healthy"] is True and payload["firing"] == []
+
+    def test_status_shape(self, served):
+        m, url = served
+        status, body = scrape(url + "/status")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["epoch"] == len(m.stats.epochs)
+        assert payload["n_ranks"] == 4
+        assert payload["transport"] == "SimTransport"
+        assert payload["flight_tail"], "status must carry the flight tail"
+        assert payload["flight_tail"][-1]["kind"] in (
+            "epoch_exit", "health", "probe",
+        )
+
+    def test_root_and_404(self, served):
+        _, url = served
+        status, body = scrape(url)
+        assert status == 200 and "/metrics" in body
+        status, _ = scrape(url + "/nope")
+        assert status == 404
+
+    def test_observer_lifecycle(self):
+        m = Machine(n_ranks=2)
+        try:
+            assert m.observer is None  # default: counters only, no server
+            obs = m.start_observer()
+            assert obs is m.start_observer()  # idempotent
+            assert scrape(obs.url + "/healthz")[0] == 200
+        finally:
+            m.shutdown()
+        assert m.observer is None
+
+    def test_server_context_manager(self):
+        m = Machine(n_ranks=2)
+        with MetricsServer(m) as srv:
+            assert srv.port
+            assert scrape(srv.url + "/metrics")[0] == 200
+
+
+# ---------------------------------------------------------------------------
+# the stall flip, on every transport
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("transport", ["sim", "threads", "process"])
+def test_healthz_flips_on_stall(transport):
+    """A handler that wedges a rank must flip /healthz to 503 while the
+    epoch drains, and the epoch boundary must clear it back to 200."""
+    m = Machine(
+        n_ranks=2,
+        transport=transport,
+        observe=ObserveConfig(
+            serve=True,
+            health=HealthConfig(stall_deadline=0.3, heartbeat_interval=0.05),
+        ),
+    )
+    try:
+        m.register("nap", _nap_handler, dest_rank_of=lambda p: p[0] % 2)
+        url = m.observer.url
+        assert scrape(url + "/healthz")[0] == 200
+
+        def run():
+            with m.epoch() as ep:
+                ep.invoke("nap", (1, 2.5))
+
+        runner = threading.Thread(target=run)
+        runner.start()
+        try:
+            assert _poll(url + "/healthz", want=503, timeout=15.0), (
+                f"/healthz never flipped during the stall on {transport}"
+            )
+            status, body = scrape(url + "/healthz")
+            if status == 503:  # may already have recovered on a slow box
+                assert "stall" in json.loads(body)["firing"]
+        finally:
+            runner.join(timeout=60.0)
+        assert not runner.is_alive(), "stalled epoch never finished"
+        assert _poll(url + "/healthz", want=200, timeout=15.0), (
+            "stall verdict did not clear after the epoch completed"
+        )
+        assert m.stats.health.stall_alerts >= 1
+    finally:
+        m.shutdown()

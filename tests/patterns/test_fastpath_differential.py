@@ -450,6 +450,51 @@ def test_delta_stepping_vector_chaos(chaos_seed):
 
 
 # ---------------------------------------------------------------------------
+# observability must not perturb execution
+# ---------------------------------------------------------------------------
+#
+# The flight recorder and health watchdogs are *always on* by default, so
+# the differential matrix gets an observe column: every fast path must
+# produce bit-identical maps, dependent sets, and logical counters whether
+# observability is fully disarmed (observe=False), on (the default), or
+# serving a live HTTP endpoint (observe=True).
+
+OBSERVE_MODES = [False, None, True]
+
+
+@pytest.mark.parametrize("fast_path", MODES)
+def test_sssp_differential_observe(fast_path):
+    g, wbg, s, t = er_instance(n=80, avg_deg=4, seed=33)
+    results = {}
+    for observe in OBSERVE_MODES:
+        m = Machine(n_ranks=4, fast_path=fast_path, observe=observe)
+        try:
+            if observe is True:
+                assert m.observer is not None and m.observer.port
+            dist, deps = run_sssp(
+                m, g, wbg, 0, layers={"relax": {"coalescing": 16}}
+            )
+            summary = {
+                k: v for k, v in m.stats.summary().items()
+                if "seconds" not in k  # wall time is inherently noisy
+            }
+        finally:
+            m.shutdown()
+        results[repr(observe)] = (dist, deps, summary)
+        if observe is False:
+            assert len(m.flight) == 0, "observe=False must disarm flight"
+            assert m.stats.health.progress_ticks == 0
+        else:
+            assert len(m.flight) > 0, "default observe must record flight"
+            assert m.stats.health.progress_ticks > 0
+    dist0, deps0, summ0 = results["False"]
+    for key, (dist, deps, summ) in results.items():
+        assert np.array_equal(dist0, dist), f"dist mismatch False vs {key}"
+        assert deps0 == deps, f"dependent set mismatch False vs {key}"
+        assert summ0 == summ, f"logical counters mismatch False vs {key}"
+
+
+# ---------------------------------------------------------------------------
 # flag plumbing
 # ---------------------------------------------------------------------------
 

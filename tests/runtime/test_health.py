@@ -1,0 +1,288 @@
+"""Health watchdogs, skew gauges, observe plumbing, and the exporter path."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.algorithms.sssp import sssp_fixed_point
+from repro.analysis import parse_prometheus, to_prometheus
+from repro.graph import build_graph, erdos_renyi, uniform_weights
+from repro.runtime import (
+    ChaosConfig,
+    HealthConfig,
+    HealthStats,
+    Machine,
+    ObserveConfig,
+    gini,
+    resolve_observe,
+)
+
+
+def small_instance(n=60, m=160, seed=7, n_ranks=4):
+    s, t = erdos_renyi(n, m, seed=seed)
+    w = uniform_weights(m, 1.0, 10.0, seed=seed + 1)
+    return build_graph(n, list(zip(s, t)), weights=w, n_ranks=n_ranks)
+
+
+# ---------------------------------------------------------------------------
+# primitives
+# ---------------------------------------------------------------------------
+
+
+class TestGini:
+    def test_balanced_is_zero(self):
+        assert gini([5, 5, 5, 5]) == 0.0
+
+    def test_fully_skewed(self):
+        # one rank does everything: Gini -> (n-1)/n
+        assert gini([1, 0, 0, 0]) == pytest.approx(0.75)
+
+    def test_degenerate_inputs(self):
+        assert gini([]) == 0.0
+        assert gini([3]) == 0.0
+        assert gini([0, 0, 0]) == 0.0
+
+    def test_moderate_skew_between(self):
+        assert 0.0 < gini([1, 2, 3, 10]) < 0.75
+
+
+class TestResolveObserve:
+    def test_default_is_on_without_server(self):
+        cfg = resolve_observe(None)
+        assert cfg.enabled and not cfg.serve
+
+    @pytest.mark.parametrize("off", [False, "off"])
+    def test_disarmed(self, off):
+        assert not resolve_observe(off).enabled
+
+    def test_true_serves_ephemeral(self):
+        cfg = resolve_observe(True)
+        assert cfg.enabled and cfg.serve and cfg.port == 0
+
+    def test_port_number(self):
+        cfg = resolve_observe(9464)
+        assert cfg.serve and cfg.port == 9464
+
+    def test_config_passthrough(self):
+        explicit = ObserveConfig(serve=True, port=1234)
+        assert resolve_observe(explicit) is explicit
+
+    def test_rejects_junk(self):
+        with pytest.raises(ValueError, match="observe"):
+            resolve_observe("loud")
+
+    def test_bad_health_config_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            HealthConfig(stall_deadline=0)
+
+
+# ---------------------------------------------------------------------------
+# live accounting on a real run
+# ---------------------------------------------------------------------------
+
+
+class TestAccounting:
+    def test_progress_and_skew_after_run(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4)
+        sssp_fixed_point(m, g, wbg, 0)
+        h = m.stats.health
+        assert h.progress_ticks > 0
+        assert h.epochs_checked == len(m.stats.epochs)
+        assert sum(m.health.msgs_by_rank) > 0
+        assert sum(m.health.handler_seconds_by_rank) > 0
+        assert 0.0 <= h.message_skew < 1.0
+        assert 0.0 <= h.vertex_skew < 1.0  # graph attached -> partition skew
+
+    def test_health_excluded_from_logical_accounting(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4)
+        sssp_fixed_point(m, g, wbg, 0)
+        assert not any("health" in k or "progress" in k for k in m.stats.summary())
+        assert "health" not in m.stats.checkpoint_state()
+
+    def test_epoch_wall_seconds_recorded(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4)
+        sssp_fixed_point(m, g, wbg, 0)
+        assert all(e.wall_seconds > 0 for e in m.stats.epochs)
+        assert m.stats.summary()["epoch_wall_seconds"] > 0
+        assert "wall(ms)" in m.stats.report()
+
+    def test_memory_gauges_refresh(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4)
+        sssp_fixed_point(m, g, wbg, 0)
+        m.health.refresh_memory()
+        assert m.stats.health.property_map_bytes > 0
+        assert m.stats.health.shared_memory_bytes == 0  # sim: no shm
+
+    def test_process_transport_merges_worker_accounting(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4, transport="process")
+        try:
+            sssp_fixed_point(m, g, wbg, 0)
+            assert m.stats.health.progress_ticks > 0
+            assert sum(m.health.msgs_by_rank) > 0
+            m.health.refresh_memory()
+            assert m.stats.health.shared_memory_bytes > 0
+        finally:
+            m.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# watchdogs
+# ---------------------------------------------------------------------------
+
+
+class TestWatchdogs:
+    def test_retry_storm_fires_under_lossy_chaos(self):
+        g, wbg = small_instance(seed=5)
+        m = Machine(
+            n_ranks=4,
+            chaos=ChaosConfig(seed=1, drop=0.2),
+            reliable=True,
+            observe=ObserveConfig(health=HealthConfig(retry_storm_threshold=0)),
+        )
+        sssp_fixed_point(m, g, wbg, 0)
+        assert m.stats.chaos.retries > 0
+        assert m.stats.health.retry_storm_alerts >= 1
+        assert m.health.verdicts["retry_storm"].transitions >= 1
+
+    def test_retry_storm_quiet_without_faults(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4)
+        sssp_fixed_point(m, g, wbg, 0)
+        assert m.stats.health.retry_storm_alerts == 0
+        assert not m.health.verdicts["retry_storm"].firing
+
+    def test_message_rate_anomaly_on_burst(self):
+        m = Machine(n_ranks=2, observe=ObserveConfig(
+            health=HealthConfig(message_rate_factor=4.0, min_history=3)
+        ))
+        h = m.health
+        for sent in (10, 12, 11):  # warm-up window
+            h.on_epoch_end(SimpleNamespace(sent_total=sent))
+        assert not h.verdicts["message_rate"].firing
+        h.on_epoch_end(SimpleNamespace(sent_total=500))  # x45 burst
+        assert h.verdicts["message_rate"].firing
+        assert m.stats.health.message_rate_alerts == 1
+        h.on_epoch_end(SimpleNamespace(sent_total=12))  # back to normal
+        assert not h.verdicts["message_rate"].firing
+        assert m.stats.health.message_rate_alerts == 1  # rising edges only
+
+    def test_stall_fires_inside_active_epoch_and_clears(self):
+        m = Machine(n_ranks=2, observe=ObserveConfig(
+            health=HealthConfig(stall_deadline=0.05)
+        ))
+        h = m.health
+        now = 100.0
+        assert not h.check_stall(now)  # outside any epoch: never stalls
+        with m.epoch():
+            assert not h.check_stall(now)  # first look records the token
+            assert h.check_stall(now + 1.0), "frozen token past deadline"
+            ok, payload = h.check()
+            assert not ok and "stall" in payload["firing"]
+        # the epoch boundary resets the clock and clears the verdict
+        ok, _ = h.check()
+        assert ok
+        assert not h.check_stall(now + 2.0)
+        assert m.stats.health.stall_alerts == 1
+        assert m.stats.health.heartbeat_checks >= 4
+
+    def test_heartbeat_thread_lifecycle(self):
+        m = Machine(n_ranks=2, observe=ObserveConfig(
+            health=HealthConfig(heartbeat_interval=0.01)
+        ))
+        m.health.start_heartbeat()
+        m.health.start_heartbeat()  # idempotent
+        import time
+
+        time.sleep(0.08)
+        m.health.stop_heartbeat()
+        assert m.stats.health.heartbeat_checks >= 2
+
+    def test_status_payload_shape(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4)
+        sssp_fixed_point(m, g, wbg, 0)
+        st = m.health.status()
+        assert st["healthy"] is True
+        assert st["epoch"] == len(m.stats.epochs)
+        assert len(st["per_rank"]["messages"]) == 4
+        assert set(st["watchdogs"]) == {"stall", "retry_storm", "message_rate"}
+
+
+# ---------------------------------------------------------------------------
+# the reflective Prometheus path
+# ---------------------------------------------------------------------------
+
+
+class TestPrometheusReflection:
+    def test_health_stats_round_trip(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4, telemetry="counters")
+        sssp_fixed_point(m, g, wbg, 0)
+        text = to_prometheus(m)
+        samples, errors = parse_prometheus(text)
+        assert errors == [], f"exporter emitted lint violations: {errors}"
+        flat = {name: v for (name, labels), v in samples.items() if not labels}
+        # every HealthStats field surfaces as repro_health_<field>
+        for fld in HealthStats.__dataclass_fields__:
+            assert f"repro_health_{fld}" in flat, fld
+        assert flat["repro_health_progress_ticks"] == float(
+            m.stats.health.progress_ticks
+        )
+        # per-rank series and watchdog states carry labels
+        ranks = {
+            labels
+            for (name, labels), _ in samples.items()
+            if name == "repro_health_rank_messages"
+        }
+        assert len(ranks) == 4
+        watchdogs = {
+            dict(labels)["watchdog"]
+            for (name, labels), v in samples.items()
+            if name == "repro_health_watchdog_firing"
+        }
+        assert watchdogs == {"stall", "retry_storm", "message_rate"}
+
+    def test_gauge_vs_counter_typing(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4, telemetry="counters")
+        sssp_fixed_point(m, g, wbg, 0)
+        text = to_prometheus(m)
+        assert "# TYPE repro_health_message_skew gauge" in text
+        assert "# TYPE repro_health_property_map_bytes gauge" in text
+        assert "# TYPE repro_health_progress_ticks counter" in text
+
+    def test_disarmed_machine_exports_no_health(self):
+        g, wbg = small_instance()
+        m = Machine(n_ranks=4, telemetry="counters", observe=False)
+        sssp_fixed_point(m, g, wbg, 0)
+        text = to_prometheus(m)
+        assert "repro_health_" not in text
+        _, errors = parse_prometheus(text)
+        assert errors == []
+
+
+class TestParsePrometheusLints:
+    def test_declaration_after_samples_flagged(self):
+        text = (
+            "# HELP m a metric\n# TYPE m counter\nm 1\n"
+            "# HELP m again\n"
+        )
+        _, errors = parse_prometheus(text)
+        assert any("after its samples" in e for e in errors)
+
+    def test_duplicate_help_flagged(self):
+        text = "# HELP m a\n# HELP m b\n# TYPE m counter\nm 1\n"
+        _, errors = parse_prometheus(text)
+        assert any("duplicate" in e.lower() and "HELP" in e for e in errors)
+
+    def test_help_without_type_flagged(self):
+        text = "# HELP m a metric\nm 1\n"
+        _, errors = parse_prometheus(text)
+        assert any("HELP but no TYPE" in e for e in errors)

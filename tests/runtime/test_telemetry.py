@@ -213,7 +213,9 @@ class TestBitIdentical:
         with m.epoch() as ep:
             ep.invoke(relax, (0, 0.0))
         summary = m.stats.summary()
-        summary.pop("handler_seconds")  # wall time, inherently noisy
+        # Wall-time entries (handler_seconds, epoch_wall_seconds) are
+        # inherently noisy; only logical counters must agree.
+        summary = {k: v for k, v in summary.items() if "seconds" not in k}
         return got, summary
 
     @pytest.mark.parametrize("schedule", ["round_robin", "lifo"])
