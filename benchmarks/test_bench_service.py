@@ -1,0 +1,122 @@
+"""Service bench — K concurrent SSSP queries, batched vs sequential.
+
+The service layer's perf claim: lowering K compatible single-source
+queries into ONE multi-source run amortizes message traffic — the fused
+run sends one K-wide relax row where K sequential runs send K scalar
+messages.  For K in {4, 16, 64} concurrent SSSP jobs on an R-MAT
+scale-10 instance this bench drives a batching and a non-batching
+:class:`~repro.service.GraphEngine` over the same submissions, checks
+the per-job results are bit-identical, and records wall-clock plus
+logical message counts in ``results/BENCH_service.json``.  The floor:
+>= 2x message amortization at K = 16.
+"""
+
+import platform
+import time
+
+import numpy as np
+
+from _common import rmat_weighted, write_json, write_result
+from repro import Machine
+from repro.service import GraphEngine
+
+SCALE = 10
+EDGE_FACTOR = 8
+GRAPH_SEED = 6
+WIDTHS = (4, 16, 64)
+AMORTIZATION_FLOOR = 2.0   # at K = 16
+FAST_PATH = "vector"
+
+
+def _sources(k, n):
+    return [(41 * i) % n for i in range(k)]  # 41 coprime to 1024: distinct
+
+
+def _run(batching, sources, g, wbg):
+    """(wall_s, messages, results) for one engine over ``sources``."""
+    m = Machine(4, fast_path=FAST_PATH)
+    eng = GraphEngine(
+        m, g, wbg, batching=batching, max_batch=len(sources), coalescing=512
+    )
+    try:
+        sent0 = m.stats.total.sent_total
+        t0 = time.perf_counter()
+        with eng._cv:  # re-entrant: queue the whole group atomically
+            jobs = [eng.submit("sssp", {"source": s}) for s in sources]
+        for job in jobs:
+            assert job.wait(timeout=300), job.job_id
+            assert job.status == "done", (job.job_id, job.error)
+        wall = time.perf_counter() - t0
+        messages = m.stats.total.sent_total - sent0
+        if batching:
+            assert m.stats.service.batches_executed >= 1
+        else:
+            assert m.stats.service.batched_jobs == 0
+        return wall, messages, [job.result for job in jobs]
+    finally:
+        eng.close()
+
+
+def test_service_batched_vs_sequential(benchmark):
+    g, wbg = rmat_weighted(scale=SCALE, edge_factor=EDGE_FACTOR, seed=GRAPH_SEED)
+    n = g.n_vertices
+    benchmark.pedantic(
+        lambda: _run(True, _sources(4, n), g, wbg), rounds=1, iterations=1
+    )
+
+    rows = []
+    for k in WIDTHS:
+        sources = _sources(k, n)
+        seq_wall, seq_msgs, seq_results = _run(False, sources, g, wbg)
+        bat_wall, bat_msgs, bat_results = _run(True, sources, g, wbg)
+        for a, b in zip(bat_results, seq_results):
+            assert np.array_equal(a, b), "batched result diverged"
+        rows.append(
+            {
+                "k": k,
+                "sequential_s": seq_wall,
+                "batched_s": bat_wall,
+                "sequential_messages": seq_msgs,
+                "batched_messages": bat_msgs,
+                "message_amortization": seq_msgs / bat_msgs,
+                "wall_speedup": seq_wall / bat_wall,
+            }
+        )
+
+    at16 = next(r for r in rows if r["k"] == 16)
+    assert at16["message_amortization"] >= AMORTIZATION_FLOOR, (
+        f"K=16 batched run amortized only "
+        f"{at16['message_amortization']:.2f}x of sequential message "
+        f"traffic (floor {AMORTIZATION_FLOOR}x)"
+    )
+
+    payload = {
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "instance": {
+            "generator": "rmat",
+            "scale": SCALE,
+            "edge_factor": EDGE_FACTOR,
+            "graph_seed": GRAPH_SEED,
+            "fast_path": FAST_PATH,
+            "n_ranks": 4,
+        },
+        "amortization_floor_at_16": AMORTIZATION_FLOOR,
+        "rows": rows,
+    }
+    write_json("BENCH_service", payload)
+    body = "\n".join(
+        f"K={r['k']:3d}: sequential {r['sequential_s'] * 1e3:8.1f} ms"
+        f" / {r['sequential_messages']:8d} msgs"
+        f"   batched {r['batched_s'] * 1e3:8.1f} ms"
+        f" / {r['batched_messages']:8d} msgs"
+        f"   amortization {r['message_amortization']:5.1f}x"
+        f"   wall {r['wall_speedup']:4.1f}x"
+        for r in rows
+    )
+    write_result(
+        "BENCH_service",
+        f"Service batching: K concurrent SSSP, fused vs sequential "
+        f"(R-MAT scale {SCALE}, floor {AMORTIZATION_FLOOR}x msgs at K=16)",
+        body,
+    )

@@ -48,9 +48,18 @@ class MetricsServer:
         if self._httpd is not None:
             return self
         handler = _make_handler(self.machine)
-        self._httpd = ThreadingHTTPServer(
-            (self.host, self._requested_port), handler
-        )
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (self.host, self._requested_port), handler
+            )
+        except OSError as err:
+            # Port 0 never collides (the kernel picks a free ephemeral
+            # port); a fixed port can, and the bare errno is unhelpful.
+            raise OSError(
+                f"cannot bind observability server on "
+                f"{self.host}:{self._requested_port} ({err}); pass port=0 "
+                f"for an ephemeral port and read it back from .port"
+            ) from err
         self._httpd.daemon_threads = True
         self.port = self._httpd.server_address[1]
         self._thread = threading.Thread(
@@ -73,6 +82,11 @@ class MetricsServer:
 
     @property
     def url(self) -> str:
+        if self.port is None:
+            raise RuntimeError(
+                "server not started; the bound port is only known after "
+                "start() (port=0 is resolved by the kernel at bind time)"
+            )
         return f"http://{self.host}:{self.port}"
 
     def __enter__(self) -> "MetricsServer":
@@ -136,17 +150,33 @@ def _make_handler(machine):
     return _Handler
 
 
-def scrape(url: str, timeout: float = 5.0) -> tuple[int, str]:
-    """Fetch one observability route; returns ``(status_code, body)``.
+def scrape(
+    url: str,
+    timeout: float = 5.0,
+    *,
+    method: Optional[str] = None,
+    data: Optional[dict] = None,
+) -> tuple[int, str]:
+    """Fetch one observability/service route; returns ``(status, body)``.
 
     Stdlib-only helper for tests and the CLI (no requests dependency);
-    non-200 responses are returned, not raised.
+    non-200 responses are returned, not raised.  With ``data`` (or an
+    explicit ``method``) the request becomes a JSON POST — the shape the
+    graph-service API (:mod:`repro.service.api`) accepts.
     """
     from urllib.error import HTTPError
-    from urllib.request import urlopen
+    from urllib.request import Request, urlopen
 
+    body = None
+    headers = {}
+    if data is not None:
+        body = json.dumps(data).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+        if method is None:
+            method = "POST"
+    req = Request(url, data=body, headers=headers, method=method)
     try:
-        with urlopen(url, timeout=timeout) as resp:
+        with urlopen(req, timeout=timeout) as resp:
             return resp.status, resp.read().decode("utf-8")
     except HTTPError as err:  # 4xx/5xx still carry a body we want
         return err.code, err.read().decode("utf-8")

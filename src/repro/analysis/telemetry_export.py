@@ -309,6 +309,15 @@ def to_prometheus(machine) -> str:
         value = getattr(stats.native, fld.name)
         w.sample(metric, {}, f"{value:.9f}" if isinstance(value, float) else value)
 
+    # -- graph service layer (reflective over ServiceStats) ------------------
+    for fld in dataclasses.fields(stats.service):
+        metric = f"repro_service_{fld.name}"
+        kind = "gauge" if fld.name.startswith("cache_") and fld.name.endswith(
+            ("entries", "bytes")
+        ) else "counter"
+        w.declare(metric, kind, f"ServiceStats.{fld.name}")
+        w.sample(metric, {}, getattr(stats.service, fld.name))
+
     # -- live health (reflective over HealthStats) ---------------------------
     health = getattr(machine, "health", None)
     if health is not None and health.enabled:

@@ -477,6 +477,68 @@ def cmd_serve_metrics(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the persistent graph service (docs/SERVICE.md).
+
+    Loads the graph once, starts a :class:`~repro.service.GraphEngine`
+    (job queue, batching scheduler, versioned result cache) and its HTTP
+    API, then blocks until interrupted.  The bound port is printed at
+    startup (``--port 0`` binds an ephemeral port)."""
+    import time
+
+    from .service import GraphEngine, ServiceServer
+
+    machine = Machine(
+        n_ranks=args.ranks,
+        transport=args.transport,
+        fast_path=args.fast_path,
+        schedule=args.schedule,
+        seed=args.seed,
+        detector=args.detector,
+        routing=args.routing,
+        telemetry=(
+            "counters"
+            if _telemetry_level(args) == "off"
+            else _telemetry_level(args)
+        ),
+    )
+    graph, weights = _make_graph(args, directed=True)
+    engine = GraphEngine(
+        machine,
+        graph,
+        weights,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        batching=not args.no_batching,
+        owns_machine=True,
+    )
+    server = ServiceServer(engine, host=args.host, port=args.port).start()
+    print(
+        f"serve: graph service on {server.url} "
+        f"(POST /jobs, /stats, /metrics, /healthz); "
+        f"n={graph.n_vertices} ranks={args.ranks} "
+        f"batching={'on' if not args.no_batching else 'off'}"
+    )
+    sys.stdout.flush()
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    server.stop()
+    engine.close()
+    snap = machine.stats.service
+    print(
+        f"serve: shut down after {snap.jobs_completed} job(s), "
+        f"{snap.batches_executed} fused batch(es), "
+        f"{snap.cache_hits} cache hit(s)"
+    )
+    return 0
+
+
 def cmd_plan(args) -> int:
     from .patterns import compile_action
 
@@ -719,6 +781,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to sleep between repetitions",
     )
     p_serve.set_defaults(fn=cmd_serve_metrics)
+
+    p_svc = sub.add_parser(
+        "serve",
+        help="persistent graph service: job queue, batched multi-query "
+        "execution, versioned result cache (docs/SERVICE.md)",
+    )
+    add_common(p_svc)
+    p_svc.add_argument("--host", default="127.0.0.1")
+    p_svc.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP port (0: ephemeral; printed at startup)",
+    )
+    p_svc.add_argument(
+        "--max-pending", type=int, default=256,
+        help="admission control: queued jobs beyond this are rejected (429)",
+    )
+    p_svc.add_argument(
+        "--max-batch", type=int, default=16,
+        help="widest fused multi-source run the scheduler may build",
+    )
+    p_svc.add_argument(
+        "--no-batching", action="store_true",
+        help="execute every job sequentially (baseline/debugging)",
+    )
+    p_svc.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for a fixed time then exit (default: until interrupted)",
+    )
+    p_svc.set_defaults(fn=cmd_serve)
 
     p_plan = sub.add_parser("plan", help="print a pattern's compiled plan")
     p_plan.add_argument(

@@ -64,6 +64,7 @@ from .stats import (
     ChaosStats,
     CheckpointStats,
     EpochStats,
+    ServiceStats,
     StatsRegistry,
     TypeStats,
 )
@@ -128,6 +129,7 @@ __all__ = [
     "ROUTINGS",
     "SafraDetector",
     "SCHEDULES",
+    "ServiceStats",
     "SimTransport",
     "Span",
     "SpmdContext",

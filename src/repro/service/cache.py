@@ -1,0 +1,157 @@
+"""Versioned result cache for the graph service.
+
+Entries are keyed by ``(graph_version, algorithm, canonical_params)``:
+the version component makes every entry self-invalidating — after a
+:meth:`Machine.apply_mutations` version bump no new lookup can hit a
+stale entry — and :meth:`ResultCache.invalidate` reclaims the memory
+those unreachable entries still hold.  Residency is bounded twice over:
+an entry-count LRU and a byte budget (numpy results account their real
+``nbytes``).  All traffic feeds
+:class:`~repro.runtime.stats.ServiceStats`, so hits/misses/evictions
+ride the reflective Prometheus path as ``repro_service_cache_*``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import Any, Optional
+
+import numpy as np
+
+
+def canonical_params(params: dict) -> str:
+    """Deterministic JSON encoding of a job's parameters.
+
+    Sorted keys and no whitespace: two submissions with the same
+    parameters always canonicalize to the same string regardless of dict
+    ordering, so they share one cache entry.
+    """
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def result_nbytes(result: Any) -> int:
+    """Approximate resident size of a cached result."""
+    if isinstance(result, np.ndarray):
+        return int(result.nbytes)
+    try:
+        return len(json.dumps(result))
+    except TypeError:
+        return 256  # opaque objects: charge a nominal overhead
+
+
+class ResultCache:
+    """LRU + byte-budget cache of completed job results.
+
+    Thread-safe: the engine's executor thread writes while API threads
+    read.  ``stats`` is the owning machine's
+    :class:`~repro.runtime.stats.StatsRegistry` (may be ``None`` in
+    unit tests — counters are then skipped).
+    """
+
+    def __init__(
+        self,
+        stats=None,
+        *,
+        max_entries: int = 256,
+        max_bytes: int = 64 << 20,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.stats = stats
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[tuple, tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    # -- keying --------------------------------------------------------------
+    @staticmethod
+    def key(graph_version: int, algorithm: str, params: dict) -> tuple:
+        return (int(graph_version), algorithm, canonical_params(params))
+
+    # -- access --------------------------------------------------------------
+    def get(self, key: tuple):
+        """The cached result for ``key``, or ``None``; counts hit/miss."""
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is None:
+                self._count("cache_misses")
+                return None
+            self._entries.move_to_end(key)
+            self._count("cache_hits")
+            return hit[0]
+
+    def put(self, key: tuple, result) -> None:
+        with self._lock:
+            nbytes = result_nbytes(result)
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (result, nbytes)
+            self._bytes += nbytes
+            while len(self._entries) > self.max_entries or (
+                self._bytes > self.max_bytes and len(self._entries) > 1
+            ):
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                self._count("cache_evictions")
+            self._gauges()
+
+    def invalidate(self, current_version: Optional[int] = None) -> int:
+        """Drop stale entries; returns how many were removed.
+
+        With ``current_version`` only entries from *other* graph versions
+        are dropped (they are unreachable after a version bump — the key
+        embeds the version — but still hold memory).  Without it the
+        whole cache is cleared.
+        """
+        with self._lock:
+            if current_version is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                self._bytes = 0
+            else:
+                stale = [
+                    k for k in self._entries if k[0] != int(current_version)
+                ]
+                for k in stale:
+                    _, nbytes = self._entries.pop(k)
+                    self._bytes -= nbytes
+                dropped = len(stale)
+            if dropped:
+                self._count("cache_invalidations", dropped)
+            self._gauges()
+            return dropped
+
+    # -- introspection -------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }
+
+    # -- stats plumbing ------------------------------------------------------
+    def _count(self, field: str, n: int = 1) -> None:
+        if self.stats is not None:
+            self.stats.count_service(field, n)
+
+    def _gauges(self) -> None:
+        if self.stats is not None:
+            self.stats.set_service("cache_entries", len(self._entries))
+            self.stats.set_service("cache_bytes", self._bytes)

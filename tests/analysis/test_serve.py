@@ -154,3 +154,104 @@ def test_healthz_flips_on_stall(transport):
         assert m.stats.health.stall_alerts >= 1
     finally:
         m.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# ephemeral ports and the scrape helper
+# ---------------------------------------------------------------------------
+
+
+class TestEphemeralPorts:
+    def test_port_zero_resolves_to_real_port(self):
+        m = Machine(n_ranks=2)
+        try:
+            with MetricsServer(m) as srv:  # default port=0
+                assert srv.port is not None and srv.port > 0
+                assert str(srv.port) in srv.url
+                assert scrape(srv.url + "/healthz")[0] == 200
+        finally:
+            m.shutdown()
+
+    def test_two_servers_get_distinct_ports(self):
+        m = Machine(n_ranks=2)
+        try:
+            with MetricsServer(m) as a, MetricsServer(m) as b:
+                assert a.port != b.port
+                assert scrape(a.url + "/metrics")[0] == 200
+                assert scrape(b.url + "/metrics")[0] == 200
+        finally:
+            m.shutdown()
+
+    def test_url_before_start_raises(self):
+        srv = MetricsServer(Machine(n_ranks=2))
+        with pytest.raises(RuntimeError, match="not started"):
+            srv.url
+
+    def test_fixed_port_collision_suggests_port_zero(self):
+        m = Machine(n_ranks=2)
+        try:
+            with MetricsServer(m) as srv:
+                clash = MetricsServer(m, port=srv.port)
+                with pytest.raises(OSError, match="pass port=0"):
+                    clash.start()
+        finally:
+            m.shutdown()
+
+    def test_start_is_idempotent(self):
+        m = Machine(n_ranks=2)
+        try:
+            srv = MetricsServer(m).start()
+            port = srv.port
+            assert srv.start() is srv and srv.port == port
+            srv.stop()
+            srv.stop()  # stop is idempotent too
+        finally:
+            m.shutdown()
+
+
+class TestScrapeHelper:
+    def test_scrape_returns_error_statuses(self):
+        m = Machine(n_ranks=2)
+        try:
+            with MetricsServer(m) as srv:
+                status, body = scrape(srv.url + "/nope")
+                assert status == 404 and "no route" in body
+        finally:
+            m.shutdown()
+
+    def test_scrape_post_sends_json(self):
+        """scrape(data=...) must produce a well-formed JSON POST (the
+        graph-service submission shape)."""
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        seen = {}
+
+        class Echo(BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                seen["body"] = json.loads(self.rfile.read(length))
+                seen["ctype"] = self.headers.get("Content-Type")
+                out = b"{\"ok\": true}"
+                self.send_response(202)
+                self.send_header("Content-Length", str(len(out)))
+                self.end_headers()
+                self.wfile.write(out)
+
+            def log_message(self, fmt, *args):
+                pass
+
+        httpd = ThreadingHTTPServer(("127.0.0.1", 0), Echo)
+        port = httpd.server_address[1]
+        t = threading.Thread(target=httpd.serve_forever, daemon=True)
+        t.start()
+        try:
+            status, body = scrape(
+                f"http://127.0.0.1:{port}/jobs",
+                data={"algorithm": "sssp", "params": {"source": 0}},
+            )
+            assert status == 202 and json.loads(body) == {"ok": True}
+            assert seen["body"] == {"algorithm": "sssp", "params": {"source": 0}}
+            assert seen["ctype"] == "application/json"
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
