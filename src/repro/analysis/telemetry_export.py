@@ -309,6 +309,19 @@ def to_prometheus(machine) -> str:
         value = getattr(stats.native, fld.name)
         w.sample(metric, {}, f"{value:.9f}" if isinstance(value, float) else value)
 
+    # -- partition quality (reflective over PartitionStats) ------------------
+    part = stats.partition
+    w.declare("repro_partition_info", "gauge", "attached partitioner (label)")
+    w.sample("repro_partition_info", {"kind": part.kind or "none"}, 1)
+    for fld in dataclasses.fields(part):
+        if fld.name == "kind":
+            continue  # exported as the info label above
+        metric = f"repro_partition_{fld.name}"
+        kind = "counter" if fld.name == "rebalances" else "gauge"
+        w.declare(metric, kind, f"PartitionStats.{fld.name}")
+        value = getattr(part, fld.name)
+        w.sample(metric, {}, f"{value:.9f}" if isinstance(value, float) else value)
+
     # -- graph service layer (reflective over ServiceStats) ------------------
     for fld in dataclasses.fields(stats.service):
         metric = f"repro_service_{fld.name}"

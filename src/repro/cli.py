@@ -566,6 +566,48 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def cmd_partition(args) -> int:
+    """Partition-quality report: edge cut, replication, load balance.
+
+    Builds the requested graph once and measures how each partitioner
+    would place it — without running anything — so operators can pick a
+    placement before paying for a run (docs/PARTITION.md)."""
+    from .graph import PARTITIONS, make_partition, partition_quality
+
+    graph, _weights = _make_graph(args, directed=True)
+    src, trg = graph.edge_arrays()
+    n = graph.n_vertices
+    kinds = list(PARTITIONS) if args.compare else [args.partition]
+    degrees = np.bincount(src, minlength=n)
+    print(
+        f"partition: n={n} arcs={len(src)} ranks={args.ranks} "
+        f"generator={args.generator}"
+    )
+    print(
+        f"{'partition':>10} {'edge_cut':>9} {'replication':>12} "
+        f"{'v_gini':>7} {'e_gini':>7} {'max_share':>10}"
+    )
+    rows = []
+    for kind in kinds:
+        part = make_partition(kind, n, args.ranks, degrees=degrees)
+        q = partition_quality(part, src, trg, kind=kind)
+        rows.append(q.as_dict())
+        print(
+            f"{kind:>10} {q.edge_cut:>9.4f} {q.replication:>12.3f} "
+            f"{q.vertex_gini:>7.3f} {q.edge_gini:>7.3f} "
+            f"{q.max_edge_share:>10.3f}"
+        )
+        if args.loads:
+            print(f"{'':>10} arcs/rank: {q.edges_by_rank}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(rows, fh, indent=2)
+        print(f"partition: wrote {len(rows)} row(s) to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -605,7 +647,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(falls back to vector when numba is unavailable)",
         )
         p.add_argument(
-            "--partition", choices=["block", "cyclic", "hash"], default="block"
+            "--partition",
+            "--partitioner",
+            dest="partition",
+            choices=["block", "cyclic", "hash", "degree", "grid2d"],
+            default="block",
+            help="vertex placement: contiguous blocks, round-robin, "
+            "multiplicative hash, degree-aware balanced-edge bin-pack, "
+            "or 2D grid edge partitioning (docs/PARTITION.md)",
         )
         p.add_argument(
             "--generator",
@@ -810,6 +859,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve for a fixed time then exit (default: until interrupted)",
     )
     p_svc.set_defaults(fn=cmd_serve)
+
+    p_part = sub.add_parser(
+        "partition",
+        help="partition-quality report (edge cut, replication, load gini)",
+    )
+    add_common(p_part)
+    p_part.add_argument(
+        "--compare",
+        action="store_true",
+        help="report every partitioner, not just --partition",
+    )
+    p_part.add_argument(
+        "--loads", action="store_true", help="print per-rank arc loads"
+    )
+    p_part.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="also write the report rows as JSON",
+    )
+    p_part.set_defaults(fn=cmd_partition)
 
     p_plan = sub.add_parser("plan", help="print a pattern's compiled plan")
     p_plan.add_argument(

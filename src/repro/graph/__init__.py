@@ -19,23 +19,37 @@ from .generators import (
     watts_strogatz,
 )
 from .io import read_edge_list, write_edge_list
-from .mutate import MutationBatch, MutationDelta, MutationError, apply_batch
+from .mutate import (
+    MutationBatch,
+    MutationDelta,
+    MutationError,
+    apply_batch,
+    repartition,
+)
 from .views import induced_subgraph, reverse_graph
 from .partition import (
     PARTITIONS,
     BlockPartition,
     CyclicPartition,
+    DegreeAwarePartition,
+    Grid2DPartition,
     HashPartition,
     Partition,
+    PartitionQuality,
+    graph_quality,
     make_partition,
+    partition_name,
+    partition_quality,
 )
 
 __all__ = [
     "BlockPartition",
     "CyclicPartition",
+    "DegreeAwarePartition",
     "DistributedGraph",
     "GENERATORS",
     "GraphBuilder",
+    "Grid2DPartition",
     "HashPartition",
     "LocalCSR",
     "MutationBatch",
@@ -43,6 +57,7 @@ __all__ = [
     "MutationError",
     "PARTITIONS",
     "Partition",
+    "PartitionQuality",
     "apply_batch",
     "barabasi_albert",
     "build_graph",
@@ -50,10 +65,14 @@ __all__ = [
     "cycle",
     "erdos_renyi",
     "from_edges",
+    "graph_quality",
     "grid_2d",
     "induced_subgraph",
     "make_partition",
+    "partition_name",
+    "partition_quality",
     "path",
+    "repartition",
     "random_tree",
     "read_edge_list",
     "reverse_graph",

@@ -20,7 +20,7 @@ from typing import Iterator
 import numpy as np
 
 from .csr import LocalCSR, build_csr
-from .partition import Partition, make_partition
+from .partition import PARTITIONS, Partition, make_partition
 
 
 class DistributedGraph:
@@ -183,11 +183,18 @@ def from_edges(
     if len(trg) and (trg.min() < 0 or trg.max() >= n_vertices):
         raise ValueError("target vertex id out of range")
 
-    part = (
-        partition
-        if isinstance(partition, Partition)
-        else make_partition(partition, n_vertices, n_ranks)
-    )
+    if isinstance(partition, Partition):
+        part = partition
+    else:
+        # Data-dependent partitioners (degree-aware, 2D) place vertices by
+        # out-degree mass; feed them the degrees of the arcs being loaded.
+        cls = PARTITIONS.get(partition)
+        degrees = (
+            np.bincount(src, minlength=n_vertices)
+            if cls is not None and cls.data_dependent
+            else None
+        )
+        part = make_partition(partition, n_vertices, n_ranks, degrees)
     owners = part.owner_array(src)
     local_src_all = part.local_index_array(src)
 

@@ -316,9 +316,10 @@ def apply_batch(
             _check_private(pm, "grow for new vertices")
             old_vertex_values[id(pm)] = pm.to_array()
 
-    # -- partition (vertex adds reshuffle ownership for block/hash) ----------
+    # -- partition (vertex adds reshuffle ownership for block/hash; degree-
+    # aware partitions keep existing placements and only assign new ids) ----
     if n_new != n_old:
-        new_part = type(part)(n_new, n_ranks)
+        new_part = part.grow(n_new)
     else:
         new_part = part
 
@@ -482,3 +483,111 @@ def apply_batch(
     delta.gid_map = gid_map
     delta.inserted_gids = inserted_gids
     return delta
+
+
+def repartition(graph: DistributedGraph, new_partition) -> np.ndarray:
+    """Re-place every vertex (and hence every stored arc) under
+    ``new_partition``, in place; returns ``gid_map`` (old gid -> new gid).
+
+    The logical graph and every property value are preserved exactly —
+    only *placement* changes: per-rank ``LocalCSR`` storage, edge gids
+    (arcs are renumbered by their new owning rank), and every registered
+    map's per-rank slices.  The rank count may change, which is what
+    ``Machine.rebalance`` builds elasticity on: vertex values are keyed
+    by global id and edge values by old gid, so both survive any
+    ownership shuffle.
+
+    Like :func:`apply_batch`, this patches ``graph.partition`` /
+    ``graph.locals`` / ``graph.edge_offsets`` and each map's ``_slices``
+    on the *same* objects the fast paths closed over, so bound plans see
+    the new placement without rebinding.  The caller owns quiescence and
+    transport invalidation (``Machine.rebalance`` enforces both);
+    shared-memory-adopted storage is refused.
+    """
+    n = graph.n_vertices
+    if new_partition.n_vertices != n:
+        raise MutationError(
+            f"repartition: new partition covers {new_partition.n_vertices} "
+            f"vertices but the graph has {n}"
+        )
+    was_bidirectional = graph.bidirectional
+    src, trg = graph.edge_arrays()
+    m = len(src)
+    p_new = new_partition.n_ranks
+
+    # -- snapshot map values under the OLD placement -------------------------
+    vertex_maps = list(graph._vertex_maps)
+    edge_maps = list(graph._edge_maps)
+    for pm in vertex_maps + edge_maps:
+        _check_private(pm, "repartition")
+    old_vertex_values = {id(pm): pm.to_array() for pm in vertex_maps}
+    old_edge_values = {id(pm): pm.to_array() for pm in edge_maps}
+
+    # -- rebuild every rank's CSR under the new ownership --------------------
+    owners = (
+        np.asarray(new_partition.owner_array(src), dtype=np.int64)
+        if m
+        else np.empty(0, dtype=np.int64)
+    )
+    local_src_all = (
+        np.asarray(new_partition.local_index_array(src), dtype=np.int64)
+        if m
+        else np.empty(0, dtype=np.int64)
+    )
+    gid_map = np.empty(m, dtype=np.int64)
+    new_locals: list[LocalCSR] = []
+    new_offsets = np.zeros(p_new + 1, dtype=np.int64)
+    rank_orig: list[np.ndarray] = []  # old gid of each arc, new CSR order
+    offset = 0
+    for rank in range(p_new):
+        mine = np.flatnonzero(owners == rank)
+        n_local = new_partition.rank_size(rank)
+        indptr, sorted_trg, order, _ = build_csr(
+            n_local, local_src_all[mine], trg[mine], offset
+        )
+        orig = mine[order]
+        gid_map[orig] = offset + np.arange(len(mine), dtype=np.int64)
+        new_locals.append(
+            LocalCSR(n_local, indptr, sorted_trg, src[orig], offset)
+        )
+        rank_orig.append(orig)
+        offset += len(mine)
+        new_offsets[rank + 1] = offset
+
+    graph.partition = new_partition
+    graph.locals = new_locals
+    graph.edge_offsets = new_offsets
+
+    # -- migrate maps onto the new per-rank layout ---------------------------
+    for pm in edge_maps:
+        old_vals = old_edge_values[id(pm)]
+        if pm.is_numeric:
+            arr = np.asarray(old_vals)
+            pm._slices = [arr[orig] for orig in rank_orig]
+        else:
+            pm._slices = [
+                [old_vals[int(o)] for o in orig] for orig in rank_orig
+            ]
+        if pm.dirty is not None:
+            pm.dirty.mark_all()
+    for pm in vertex_maps:
+        old_vals = old_vertex_values[id(pm)]
+        if pm.is_numeric:
+            arr = np.asarray(old_vals)
+            pm._slices = [
+                arr[new_partition.local_vertices(r)] for r in range(p_new)
+            ]
+        else:
+            pm._slices = [
+                [old_vals[int(g)] for g in new_partition.local_vertices(r)]
+                for r in range(p_new)
+            ]
+        if pm.dirty is not None:
+            pm.dirty.mark_all()
+    # Lock maps are keyed by global vertex id, not placement: nothing moves.
+
+    if was_bidirectional:
+        _add_in_edges(graph)
+
+    graph.version += 1
+    return gid_map

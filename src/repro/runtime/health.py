@@ -50,7 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .stats import EpochStats
 
 #: Watchdog names, in report order.
-WATCHDOGS = ("stall", "retry_storm", "message_rate")
+WATCHDOGS = ("stall", "retry_storm", "message_rate", "partition_skew")
 
 
 @dataclass
@@ -69,6 +69,7 @@ class HealthStats:
     stall_alerts: int = 0  # stall watchdog rising edges
     retry_storm_alerts: int = 0  # retry-storm rising edges
     message_rate_alerts: int = 0  # message-rate rising edges
+    partition_skew_alerts: int = 0  # partition-skew rising edges
     epochs_checked: int = 0  # epoch-boundary evaluations
     message_skew: float = 0.0  # Gini over per-rank delivered messages
     handler_time_skew: float = 0.0  # Gini over per-rank handler seconds
@@ -90,6 +91,9 @@ class HealthConfig:
     storm.  ``message_rate_factor``: an epoch sending more than this
     multiple of the trailing-window mean fires the rate watchdog (after
     ``min_history`` epochs of warm-up, over a ``history``-epoch window).
+    ``partition_skew_factor``: the busiest rank storing more than this
+    multiple of the mean per-rank arc load fires the skew watchdog — the
+    operator signal to ``Machine.rebalance`` (docs/PARTITION.md).
     """
 
     stall_deadline: float = 30.0
@@ -98,6 +102,7 @@ class HealthConfig:
     message_rate_factor: float = 8.0
     history: int = 8
     min_history: int = 3
+    partition_skew_factor: float = 2.0
 
     def __post_init__(self) -> None:
         if self.stall_deadline <= 0 or self.heartbeat_interval <= 0:
@@ -227,6 +232,15 @@ class HealthMonitor:
             )
         self._sent_history.append(sent)
         self.refresh_skew()
+        # Partition skew: the busiest rank's stored-arc load vs the mean.
+        ps = self.machine.stats.partition
+        self._set(
+            "partition_skew",
+            ps.ranks > 1 and ps.max_edge_share > cfg.partition_skew_factor,
+            f"max-rank edge share {ps.max_edge_share:.2f}x mean "
+            f"(threshold {cfg.partition_skew_factor}x) on "
+            f"{ps.kind or 'unknown'} partition; consider Machine.rebalance",
+        )
         # A completed epoch is progress by definition.
         self._last_token = self.progress_token()
         self._token_t = _wall()
@@ -320,10 +334,25 @@ class HealthMonitor:
         st.handler_time_skew = gini(self.handler_seconds_by_rank)
         graph = self.machine.graph
         if graph is not None:
-            st.vertex_skew = gini(
+            vertex_loads = [
                 graph.partition.rank_size(r) for r in range(graph.n_ranks)
+            ]
+            edge_loads = [csr.n_edges for csr in graph.locals]
+            st.vertex_skew = gini(vertex_loads)
+            st.edge_skew = gini(edge_loads)
+            # The load-derived partition gauges ride the same refresh (the
+            # edge-cut/replication gauges need the edge arrays and are set
+            # on attach/mutate/rebalance instead).
+            ps = self.machine.stats.partition
+            ps.ranks = graph.n_ranks
+            ps.vertex_gini = st.vertex_skew
+            ps.edge_gini = st.edge_skew
+            total_edges = sum(edge_loads)
+            ps.max_edge_share = (
+                max(edge_loads) * graph.n_ranks / total_edges
+                if total_edges
+                else 1.0
             )
-            st.edge_skew = gini(csr.n_edges for csr in graph.locals)
 
     def refresh_memory(self) -> None:
         """Recompute the memory gauges.  Scrape-time only: walks property
@@ -401,6 +430,24 @@ class HealthMonitor:
             },
             "watchdogs": verdicts["watchdogs"],
         }
+
+    # -- elasticity ------------------------------------------------------------
+    def resize(self, n_ranks: int) -> None:
+        """Adapt the per-rank accounting to a new rank count
+        (``Machine.rebalance``).  Existing totals are kept where the rank
+        survives; shrinking folds the removed ranks' counts into rank 0
+        so skew history is not silently discarded."""
+        cur = len(self.msgs_by_rank)
+        if n_ranks > cur:
+            self.msgs_by_rank.extend([0] * (n_ranks - cur))
+            self.handler_seconds_by_rank.extend([0.0] * (n_ranks - cur))
+        elif n_ranks < cur:
+            self.msgs_by_rank[0] += sum(self.msgs_by_rank[n_ranks:])
+            self.handler_seconds_by_rank[0] += sum(
+                self.handler_seconds_by_rank[n_ranks:]
+            )
+            del self.msgs_by_rank[n_ranks:]
+            del self.handler_seconds_by_rank[n_ranks:]
 
     # -- process-transport support --------------------------------------------
     def reset_after_fork(self) -> None:

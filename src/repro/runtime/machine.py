@@ -171,6 +171,9 @@ class Machine:
             raise ValueError(
                 f"unknown transport {transport!r}; use 'sim', 'threads', or 'process'"
             )
+        # Kind string kept: rebalance rebuilds the detector (its per-rank
+        # counters are sized to n_ranks) from the same configuration.
+        self._detector_kind = detector
         self.detector = make_detector(detector, self)
         # -- fault injection + reliable delivery (Sec. "FAULTS" in docs) ----
         #: ChaosTransport controller when chaos/reliability is installed.
@@ -336,6 +339,8 @@ class Machine:
 
     def attach_graph(self, graph) -> None:
         """Use a :class:`~repro.graph.distributed.DistributedGraph` for addressing."""
+        from ..graph.partition import partition_name
+
         if graph.n_ranks != self.n_ranks:
             raise ValueError(
                 f"graph is partitioned over {graph.n_ranks} ranks but the "
@@ -343,6 +348,14 @@ class Machine:
             )
         self.graph = graph
         self.set_owner_map(graph.owner)
+        # Cheap partition gauges only (O(p)); the O(m) edge-cut/replication
+        # sweep runs where it is explicitly asked for — rebalance, the
+        # `repro partition` CLI, and graph_quality() callers.
+        ps = self.stats.partition
+        ps.kind = partition_name(graph.partition)
+        ps.ranks = graph.n_ranks
+        if self.health.enabled:
+            self.health.refresh_skew()
 
     # -- graph mutations -----------------------------------------------------
     def apply_mutations(self, batch, *, weight_map=None):
@@ -414,6 +427,157 @@ class Machine:
                 },
             )
         return delta
+
+    # -- rank elasticity -----------------------------------------------------
+    def rebalance(self, *, new_ranks=None, partitioner=None):
+        """Repartition the attached graph — optionally onto a different
+        rank count — at a quiescent epoch boundary.
+
+        ``partitioner`` is a registry kind (``"block"`` / ``"cyclic"`` /
+        ``"hash"`` / ``"degree"`` / ``"grid2d"``), a ready
+        :class:`~repro.graph.partition.Partition` instance, or ``None``
+        to keep the current kind; data-dependent kinds are rebuilt from
+        the graph's *current* out-degrees, so a rebalance after mutations
+        re-packs against the topology that actually exists.  ``new_ranks``
+        defaults to the current rank count (pure re-placement).
+
+        The sequence is checkpoint -> repartition -> restore: the
+        transport is quiesced and its shared state released (on the
+        process transport this drains the fleet, folds worker accounting
+        back, stops the workers, and privatizes the shm maps — the same
+        machinery ``restore_state`` uses), every vertex/edge property
+        value is carried across the ownership shuffle by global id / gid,
+        and every rank-count-dependent runtime component (resolver,
+        detector, transport mailboxes, health accounting, layer buffers,
+        checkpoint trackers) is rebuilt for the new size.  Results are
+        bit-identical to never having rebalanced; only placement — and
+        hence the local/remote message split — changes.
+
+        Returns the :class:`~repro.graph.partition.PartitionQuality` of
+        the new placement.  Inside a service, rebalance rides the same
+        admission barrier as mutations (``GraphEngine.rebalance``).
+        """
+        import numpy as np
+
+        from ..graph.mutate import repartition
+        from ..graph.partition import (
+            PARTITIONS,
+            Partition,
+            make_partition,
+            partition_name,
+            partition_quality,
+        )
+
+        if self.graph is None:
+            raise RuntimeError(
+                "rebalance requires an attached graph (attach_graph or "
+                "bind a pattern first)"
+            )
+        if self._active_epoch is not None:
+            raise RuntimeError(
+                "rebalance inside an active epoch; rebalancing is only "
+                "legal at quiescent epoch boundaries"
+            )
+        if self.transport.pending_messages() or self.transport.pending_layer_items():
+            raise RuntimeError(
+                "rebalance with messages in flight; drain the machine first"
+            )
+        graph = self.graph
+        n = graph.n_vertices
+        old_ranks = self.n_ranks
+        target = old_ranks if new_ranks is None else int(new_ranks)
+        if target < 1:
+            raise ValueError("new_ranks must be >= 1")
+        src, trg = graph.edge_arrays()
+        if isinstance(partitioner, Partition):
+            part = partitioner
+            if part.n_vertices != n:
+                raise ValueError(
+                    f"partitioner covers {part.n_vertices} vertices but "
+                    f"the graph has {n}"
+                )
+            if new_ranks is not None and part.n_ranks != target:
+                raise ValueError(
+                    f"partitioner spans {part.n_ranks} ranks but "
+                    f"new_ranks={target}"
+                )
+            target = part.n_ranks
+        else:
+            kind = (
+                partitioner
+                if partitioner is not None
+                else partition_name(graph.partition)
+            )
+            if kind not in PARTITIONS:
+                raise ValueError(
+                    f"unknown partitioner {kind!r}; pick one of "
+                    f"{sorted(PARTITIONS)} or pass a Partition instance"
+                )
+            degrees = (
+                np.bincount(src, minlength=n)
+                if PARTITIONS[kind].data_dependent
+                else None
+            )
+            part = make_partition(kind, n, target, degrees)
+        # Quiesce and release transport state tied to the old placement
+        # (process: drain + sync worker accounting, stop the fleet,
+        # privatize shm so map migration never writes into live segments).
+        invalidate = getattr(self.transport, "invalidate_graph", None)
+        if invalidate is not None:
+            invalidate()
+        repartition(graph, part)
+        # -- rebuild every rank-count-dependent runtime component ----------
+        self.n_ranks = target
+        self.resolver.n_ranks = target
+        self.set_owner_map(graph.owner)
+        self.detector = make_detector(self._detector_kind, self)
+        self.transport.resize(target)
+        self.health.resize(target)
+        if self.reliable is not None:
+            # Termination proved every payload delivered; what's left in
+            # the retransmission queue is ack-loss bookkeeping naming
+            # channels of the old rank space.
+            self.reliable.reset()
+        # Stale layer state refers to pre-rebalance placement (a caching
+        # layer keys duplicate suppression by destination rank), and the
+        # coalescing layer pre-sizes its per-source buffers at attach
+        # time — re-attach so they cover the new rank count.
+        for mtype in self.registry:
+            for layer in mtype.layers:
+                layer.reset()
+                layer.attach(self, mtype)
+        if self.checkpoints is not None:
+            # Re-register maps (per-rank storage shapes changed) and
+            # re-point the system components (detector was rebuilt).
+            for pm in list(self.checkpoints.maps().values()):
+                self.checkpoints.register_map(pm)
+            self.checkpoints._register_system()
+        quality = partition_quality(part, src, trg, kind=partition_name(part))
+        st = self.stats
+        st.count_partition("rebalances")
+        st.set_partition_quality(quality)
+        if self.health.enabled:
+            self.health.refresh_skew()
+        self.flight.record(
+            "rebalance",
+            old_ranks=old_ranks,
+            new_ranks=target,
+            partitioner=quality.kind,
+            version=graph.version,
+        )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.event(
+                "rebalance",
+                args={
+                    "old_ranks": old_ranks,
+                    "new_ranks": target,
+                    "kind": quality.kind,
+                    "edge_cut": quality.edge_cut,
+                    "max_edge_share": quality.max_edge_share,
+                },
+            )
+        return quality
 
     def queue_mutations(self, batch, *, weight_map=None) -> None:
         """Queue a batch for application at the next epoch boundary

@@ -45,7 +45,11 @@ Design (docs/RUNTIME.md has the long-form version):
 
 Known limits, by construction: rank-crash chaos is rejected (a forked
 worker cannot lose its mailbox the way the in-process transports model
-it); checkpoint *restore* onto live workers is not supported (capture is);
+it); checkpoint *restore* is quiescent respawn-and-restore — live workers
+are never rewound in place; the parent stops them, discards in-flight
+frames (the moral equivalent of the sim transport clearing mailboxes),
+privatizes the shm maps, and the next send respawns workers against
+segments republished from the restored content (see ``restore_state``);
 ``run_spmd`` remains thread-transport-only.
 """
 
@@ -467,8 +471,24 @@ class ProcessTransport(Transport):
             return 0
         return int(self._done_np.sum())
 
+    def resize(self, n_ranks: int) -> None:
+        """Adopt a new rank count; workers respawn at the new size.
+
+        Every per-rank structure (shm ledgers, inboxes, worker processes)
+        is built by ``_spawn`` from ``self.n_ranks``, so resizing a
+        stopped transport is just the rank-count update.  A still-running
+        fleet is quiesced and torn down first via ``invalidate_graph`` —
+        the same machinery a graph mutation uses — which also privatizes
+        the shm maps sized for the old partition.
+        """
+        if self._worker_rank is not None:
+            raise RuntimeError("resize must run in the parent")
+        if self._started:
+            self.invalidate_graph()
+        super().resize(n_ranks)
+
     # ------------------------------------------------------------------
-    # checkpointing: capture-only
+    # checkpointing
     # ------------------------------------------------------------------
     def checkpoint_state(self) -> dict:
         if not self._started:
@@ -479,11 +499,31 @@ class ProcessTransport(Transport):
         }
 
     def restore_state(self, state: dict) -> None:
-        raise NotImplementedError(
-            "the process transport supports checkpoint capture but not "
-            "in-place restore: live workers cannot rewind; replay the "
-            "checkpoint on a sim transport (docs/RECOVERY.md)"
-        )
+        """Quiescent respawn-and-restore.
+
+        Live workers cannot rewind: their map slices are views into shm
+        segments the rolled-back epochs wrote through, and the frame
+        ledgers only move forward.  But a checkpoint's transport state is
+        *empty* by construction (capture is only legal at quiescence), so
+        restore is a teardown, not a rewind: stop the workers without
+        draining — in-flight frames belong to the rolled-back epochs and
+        are discarded with the queues, exactly as the sim transport
+        clears its mailboxes — then privatize every adopted map onto the
+        parent heap.  The checkpoint manager re-applies the restored map
+        manifests at the next epoch entry (``apply_pending``), which also
+        erases anything a straggling worker wrote between the map restore
+        and the stop, and the next send respawns workers against freshly
+        sized segments republished from that content.  The captured
+        ``frames_posted`` / ``frames_done`` totals are monotonic
+        diagnostics, not replayable cursors; the fresh zero ledgers of
+        the respawn keep ``pending_messages() == 0`` consistent with
+        quiescence.
+        """
+        if self._worker_rank is not None:
+            raise RuntimeError("restore_state must run in the parent")
+        if self._started:
+            self._stop_workers()
+        self._release_shm()
 
     # ------------------------------------------------------------------
     # parent: progress / quiescence

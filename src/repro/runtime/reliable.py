@@ -205,6 +205,17 @@ class ReliableDelivery:
         with self._lock:
             return len(self._unacked)
 
+    def reset(self) -> None:
+        """Forget all channel state (sequence numbers, retransmission
+        queue, dedup windows).  Legal only at a quiescent epoch boundary:
+        termination proved every payload was delivered, so surviving
+        unacked entries are ack-loss bookkeeping — and after a rebalance
+        the channels they name no longer exist."""
+        with self._lock:
+            self._next_seq.clear()
+            self._unacked.clear()
+            self._seen.clear()
+
     def has_unacked(self) -> bool:
         return bool(self._unacked)
 

@@ -145,6 +145,26 @@ class SimTransport(Transport):
     def pending_messages(self) -> int:
         return sum(len(b) for b in self._mailboxes)
 
+    def resize(self, n_ranks: int) -> None:
+        """Rebuild per-rank structures for a new rank count.
+
+        The RNG streams and the global sequence counter carry over — a
+        rebalanced run keeps drawing from the same deterministic streams
+        rather than restarting them — while the round-robin cursor resets
+        (its old position is meaningless under the new rank count).
+        """
+        if self.routing == "hypercube" and (n_ranks & (n_ranks - 1)) != 0:
+            raise ValueError(
+                f"hypercube routing needs a power-of-two rank count, got "
+                f"{n_ranks}"
+            )
+        super().resize(n_ranks)
+        self._mailboxes = [deque() for _ in range(n_ranks)]
+        self._contexts = [
+            HandlerContext(self.machine, r) for r in range(n_ranks)
+        ]
+        self._rr_next = 0
+
     # -- scheduling ----------------------------------------------------------------
     def _pick_rank(self) -> int:
         nonempty = [r for r in range(self.n_ranks) if self._mailboxes[r]]

@@ -101,6 +101,20 @@ class ThreadTransport(Transport):
         with self._lock:
             return self._enqueued - self._completed
 
+    def resize(self, n_ranks: int) -> None:
+        """Stop the workers and rebuild mailboxes for a new rank count.
+
+        Workers respawn lazily on the next enqueue (``start`` is called
+        from ``_enqueue`` / ``_drain``); the send/complete ledger carries
+        over unchanged — both sides are equal at quiescence, which
+        :meth:`Transport.resize` enforces.
+        """
+        if self._started:
+            self.shutdown()
+        super().resize(n_ranks)
+        with self._lock:
+            self._mailboxes = [deque() for _ in range(n_ranks)]
+
     # -- checkpointing --------------------------------------------------------
     def checkpoint_state(self) -> dict:
         """Thread transports have no deterministic cursors to save: the

@@ -239,6 +239,22 @@ class Transport:
     def quiescent(self) -> bool:
         return self.pending_messages() == 0 and self.pending_layer_items() == 0
 
+    def resize(self, n_ranks: int) -> None:
+        """Adapt the transport to a new rank count (``Machine.rebalance``).
+
+        Only legal at quiescence: per-rank mailboxes are rebuilt, so any
+        in-flight message would be lost.  Subclasses extend this to
+        rebuild their per-rank structures.
+        """
+        if not self.quiescent():
+            raise RuntimeError(
+                "transport resize requires quiescence (messages in flight "
+                "or layer buffers non-empty)"
+            )
+        if n_ranks < 1:
+            raise ValueError("resize needs at least one rank")
+        self.n_ranks = n_ranks
+
     def finish_epoch(self, detector) -> None:
         """Drain and run the termination protocol until quiescence is proven."""
         tel = self.machine.telemetry

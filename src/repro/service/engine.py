@@ -17,6 +17,11 @@ serves algorithm jobs against it:
   :meth:`Machine.apply_mutations` at their queue position; the version
   bump invalidates the result cache and later jobs execute against the
   new graph.
+* **Rebalance barrier jobs** — ``algorithm="rebalance"`` jobs call
+  :meth:`Machine.rebalance` at their queue position to repartition the
+  graph (``partitioner`` param) and/or grow or shrink the rank count
+  (``n_ranks`` param).  Like mutations they run alone, bump the graph
+  version, and invalidate cached results.
 * **Versioned result cache** — completed analytics land in a
   :class:`~repro.service.cache.ResultCache` keyed on
   ``(graph_version, algorithm, canonical_params)``; repeat submissions
@@ -43,8 +48,12 @@ from ..props.property_map import weight_map_from_array
 from .batching import MUTATION, BatchingScheduler, batch_key
 from .cache import ResultCache
 
+#: Barrier job that repartitions (and optionally resizes) the engine's
+#: machine at its queue position; see :meth:`Machine.rebalance`.
+REBALANCE = "rebalance"
+
 #: Algorithms a job may request.
-ALGORITHMS = ("sssp", "bfs", "cc", "pagerank", MUTATION)
+ALGORITHMS = ("sssp", "bfs", "cc", "pagerank", MUTATION, REBALANCE)
 
 #: Job lifecycle states.
 STATUSES = ("queued", "running", "done", "failed", "cancelled")
@@ -257,6 +266,20 @@ class GraphEngine:
                 if key in params and not isinstance(params[key], (int, float)):
                     raise ValueError(f"pagerank param {key!r} must be {kind.__name__}")
             extra = set(params) - {"damping", "iterations", "tol"}
+        elif algorithm == REBALANCE:
+            from ..graph.partition import PARTITIONS
+
+            part = params.get("partitioner")
+            if part is not None and part not in PARTITIONS:
+                raise ValueError(
+                    f"unknown partitioner {part!r}; use one of {sorted(PARTITIONS)}"
+                )
+            ranks = params.get("n_ranks")
+            if ranks is not None and (
+                not isinstance(ranks, int) or isinstance(ranks, bool) or ranks < 1
+            ):
+                raise ValueError("rebalance 'n_ranks' must be a positive integer")
+            extra = set(params) - {"partitioner", "n_ranks"}
         else:  # mutate
             extra = set(params) - {
                 "insert", "delete", "update", "add_vertices", "undirected", "strict",
@@ -334,7 +357,7 @@ class GraphEngine:
         if not self._queue:
             return None
         head = self._queue[0]
-        if head.algorithm == MUTATION or not self.batching:
+        if head.algorithm in (MUTATION, REBALANCE) or not self.batching:
             group = [self._queue.popleft()]
         else:
             group = self.scheduler.collect(self._queue, self.graph.version)
@@ -351,6 +374,9 @@ class GraphEngine:
         stats = self.machine.stats
         if group[0].algorithm == MUTATION:
             self._execute_mutation(group[0])
+            return
+        if group[0].algorithm == REBALANCE:
+            self._execute_rebalance(group[0])
             return
         # -- cache pass (at execution time: the version is now final) -------
         missing: List[JobRecord] = []
@@ -468,6 +494,45 @@ class GraphEngine:
             stats.count_service("jobs_completed")
             self.machine.flight.record(
                 "job_mutation", job=job.job_id, version=self.graph.version
+            )
+        except Exception as exc:
+            job.error = repr(exc)
+            self._finish(job, "failed")
+            stats.count_service("jobs_failed")
+
+    def _execute_rebalance(self, job: JobRecord) -> None:
+        """Barrier job: repartition (and optionally resize) the machine.
+
+        Runs alone at its queue position — the executor thread is the
+        only machine user, so the epoch-boundary quiescence
+        :meth:`Machine.rebalance` demands holds by construction.  The
+        version bump invalidates cached results keyed to the old
+        placement, exactly like a mutation barrier.
+        """
+        stats = self.machine.stats
+        try:
+            quality = self.machine.rebalance(
+                new_ranks=job.params.get("n_ranks"),
+                partitioner=job.params.get("partitioner"),
+            )
+            if self._weight is not None:
+                # Edge values were re-placed gid-by-gid; republish the
+                # gid-aligned array so fused runs bind the moved weights.
+                self._weight_by_gid = self._weight.to_array()
+            self.cache.invalidate(self.graph.version)
+            job.graph_version = self.graph.version
+            job.result = dict(
+                quality.as_dict(),
+                graph_version=self.graph.version,
+                n_ranks=self.machine.n_ranks,
+            )
+            self._finish(job, "done")
+            stats.count_service("jobs_completed")
+            self.machine.flight.record(
+                "job_rebalance",
+                job=job.job_id,
+                ranks=self.machine.n_ranks,
+                partitioner=quality.kind,
             )
         except Exception as exc:
             job.error = repr(exc)

@@ -7,9 +7,15 @@ from repro.graph import (
     PARTITIONS,
     BlockPartition,
     CyclicPartition,
+    DegreeAwarePartition,
+    Grid2DPartition,
     HashPartition,
     make_partition,
+    partition_name,
+    partition_quality,
 )
+from repro.graph.generators import rmat
+from repro.graph.partition import gini, grid_shape
 
 
 @pytest.mark.parametrize("kind", sorted(PARTITIONS))
@@ -84,3 +90,132 @@ class TestPartitionSpecifics:
             BlockPartition(-1, 2)
         with pytest.raises(ValueError):
             BlockPartition(10, 0)
+
+
+def _powerlaw(scale=9, p=4, seed=7):
+    src, trg = rmat(scale, edge_factor=8, seed=seed, permute=False)
+    n = 1 << scale
+    degrees = np.bincount(src, minlength=n)
+    return n, src, trg, degrees
+
+
+class TestDegreeAware:
+    def test_balances_edge_loads_on_powerlaw(self):
+        """The whole point: near-equal out-arc mass per rank where a
+        block layout concentrates the hubs."""
+        n, src, trg, degrees = _powerlaw()
+        block = BlockPartition(n, 4)
+        deg = DegreeAwarePartition(n, 4, degrees=degrees)
+        q_block = partition_quality(block, src, trg)
+        q_deg = partition_quality(deg, src, trg)
+        assert q_deg.max_edge_share < q_block.max_edge_share
+        assert q_deg.max_edge_share < 1.1  # near-perfect balance
+        assert q_deg.edge_gini < q_block.edge_gini
+
+    def test_deterministic(self):
+        n, src, trg, degrees = _powerlaw()
+        a = DegreeAwarePartition(n, 4, degrees=degrees)
+        b = DegreeAwarePartition(n, 4, degrees=degrees)
+        np.testing.assert_array_equal(
+            a.owner_array(np.arange(n)), b.owner_array(np.arange(n))
+        )
+
+    def test_uniform_costs_without_degrees(self):
+        """degrees=None falls back to unit costs: still a valid balanced
+        vertex split."""
+        part = DegreeAwarePartition(20, 4)
+        counts = np.bincount(part.owner_array(np.arange(20)), minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_grow_keeps_existing_placement(self):
+        n, _, _, degrees = _powerlaw(scale=7)
+        part = DegreeAwarePartition(n, 4, degrees=degrees)
+        before = part.owner_array(np.arange(n))
+        grown = part.grow(n + 13)
+        np.testing.assert_array_equal(grown.owner_array(np.arange(n)), before)
+        assert grown.n_vertices == n + 13
+        # new vertices all placed somewhere valid
+        owners = grown.owner_array(np.arange(n, n + 13))
+        assert ((owners >= 0) & (owners < 4)).all()
+
+    def test_grow_cannot_shrink(self):
+        part = DegreeAwarePartition(10, 2)
+        with pytest.raises(ValueError, match="shrink"):
+            part.grow(5)
+
+
+class TestGrid2D:
+    def test_owner_is_row_times_cols_plus_col(self):
+        n, _, _, degrees = _powerlaw(scale=7)
+        part = Grid2DPartition(n, 6, degrees=degrees)
+        assert (part.rows, part.cols) == (2, 3)
+        owners = part.owner_array(np.arange(n))
+        assert ((owners >= 0) & (owners < 6)).all()
+
+    def test_scatters_hub_neighborhood_across_columns(self):
+        """Contiguous ids (a hub's neighborhood under block layouts)
+        land in more than one column."""
+        part = Grid2DPartition(512, 4)
+        cols = part.owner_array(np.arange(64)) % part.cols
+        assert len(set(cols.tolist())) > 1
+
+    def test_grow_keeps_existing_placement(self):
+        n, _, _, degrees = _powerlaw(scale=7)
+        part = Grid2DPartition(n, 4, degrees=degrees)
+        before = part.owner_array(np.arange(n))
+        grown = part.grow(n + 9)
+        np.testing.assert_array_equal(grown.owner_array(np.arange(n)), before)
+        assert (grown.rows, grown.cols) == (part.rows, part.cols)
+
+    def test_grid_shape(self):
+        assert grid_shape(1) == (1, 1)
+        assert grid_shape(4) == (2, 2)
+        assert grid_shape(6) == (2, 3)
+        assert grid_shape(7) == (1, 7)
+        assert grid_shape(8) == (2, 4)
+        assert grid_shape(12) == (3, 4)
+
+
+class TestQualityMetrics:
+    def test_gini_bounds(self):
+        assert gini([5, 5, 5, 5]) == 0.0
+        assert gini([]) == 0.0
+        assert gini([0, 0, 0]) == 0.0
+        assert 0.7 < gini([100, 0, 0, 0, 0, 0, 0, 0]) <= 1.0
+        assert gini([1, 2, 3]) < gini([0, 0, 6])
+
+    def test_edge_cut_known_placement(self):
+        # 0,1 on rank 0; 2,3 on rank 1 (block over 4 vertices, 2 ranks)
+        part = BlockPartition(4, 2)
+        src = np.array([0, 0, 2, 2])
+        trg = np.array([1, 2, 3, 0])  # local, cut, local, cut
+        q = partition_quality(part, src, trg)
+        assert q.edge_cut == 0.5
+        assert q.edges_by_rank == [2, 2]
+
+    def test_replication_counts_mirrors(self):
+        """A vertex targeted by arcs stored on a remote rank is seen by
+        both ranks: replication > 1."""
+        part = BlockPartition(4, 2)
+        src = np.array([0, 2])
+        trg = np.array([2, 0])  # both arcs cut
+        q = partition_quality(part, src, trg)
+        assert q.replication > 1.0
+
+    def test_empty_edge_list(self):
+        q = partition_quality(BlockPartition(4, 2), np.array([]), np.array([]))
+        assert q.edge_cut == 0.0
+        assert q.n_edges == 0
+
+    def test_partition_name_roundtrip(self):
+        for kind in PARTITIONS:
+            part = make_partition(kind, 16, 4)
+            assert partition_name(part) == kind
+
+    def test_quality_as_dict_json_safe(self):
+        import json
+
+        n, src, trg, degrees = _powerlaw(scale=7)
+        part = DegreeAwarePartition(n, 4, degrees=degrees)
+        q = partition_quality(part, src, trg, kind="degree")
+        json.dumps(q.as_dict())  # must not raise

@@ -550,13 +550,14 @@ class MutationConfig:
     graph_seed: int = 3
     n_ops: int = 8
     chaos_seed: int = -1  # >= 0: run the incremental side under chaos
+    partition: str = "cyclic"
 
     def describe(self) -> str:
         extra = f" chaos_seed={self.chaos_seed}" if self.chaos_seed >= 0 else ""
         return (
             f"{self.algorithm} fast_path={self.fast_path} "
             f"transport={self.transport} mutation_seed={self.mutation_seed} "
-            f"graph_seed={self.graph_seed}{extra}"
+            f"graph_seed={self.graph_seed} partition={self.partition}{extra}"
         )
 
 
@@ -712,7 +713,7 @@ def run_mutation_config(
     try:
         if cfg.algorithm == "sssp":
             g, wbg = build_graph(
-                n, edges, weights=weights, n_ranks=N_RANKS, partition="cyclic"
+                n, edges, weights=weights, n_ranks=N_RANKS, partition=cfg.partition
             )
             wm = weight_map_from_array(g, wbg)
             machine.attach_graph(g)
@@ -724,7 +725,7 @@ def run_mutation_config(
             m2 = Machine(N_RANKS, fast_path=cfg.fast_path)
             scratch = {"dist": sssp_fixed_point(m2, g, wm, 0)}
         elif cfg.algorithm == "bfs":
-            g, _ = build_graph(n, edges, n_ranks=N_RANKS, partition="cyclic")
+            g, _ = build_graph(n, edges, n_ranks=N_RANKS, partition=cfg.partition)
             machine.attach_graph(g)
             bp = bind(bfs_pattern(), machine, g)
             bp.map("depth")[0] = 0.0
@@ -736,7 +737,7 @@ def run_mutation_config(
             scratch = {"depth": bfs_fixed_point(m2, g, 0)}
         elif cfg.algorithm == "cc":
             g, _ = build_graph(
-                n, edges, directed=False, n_ranks=N_RANKS, partition="cyclic"
+                n, edges, directed=False, n_ranks=N_RANKS, partition=cfg.partition
             )
             machine.attach_graph(g)
             bp = bind(cc_label_pattern(), machine, g)
@@ -750,7 +751,7 @@ def run_mutation_config(
             m2 = Machine(N_RANKS, fast_path=cfg.fast_path)
             scratch = {"comp": cc_label_propagation(m2, g)}
         elif cfg.algorithm == "pagerank":
-            g, _ = build_graph(n, edges, n_ranks=N_RANKS, partition="cyclic")
+            g, _ = build_graph(n, edges, n_ranks=N_RANKS, partition=cfg.partition)
             machine.attach_graph(g)
             ipr = IncrementalPageRank(machine, g, damping=0.5, iterations=10)
             ipr.run()

@@ -173,6 +173,35 @@ class TestWatchdogs:
         assert not h.verdicts["message_rate"].firing
         assert m.stats.health.message_rate_alerts == 1  # rising edges only
 
+    def test_partition_skew_fires_on_hub_heavy_block_layout(self):
+        """A power-law graph on a block partition concentrates the hub
+        prefix on rank 0 — the skew watchdog is the rebalance signal."""
+        from repro.graph import rmat
+
+        s, t = rmat(8, edge_factor=8, seed=5, permute=False)
+        w = uniform_weights(len(s), 1.0, 10.0, seed=6)
+        g, wbg = build_graph(
+            256, list(zip(s, t)), weights=w, n_ranks=4, partition="block"
+        )
+        m = Machine(n_ranks=4, observe=ObserveConfig(
+            health=HealthConfig(partition_skew_factor=1.5)
+        ))
+        m.attach_graph(g)
+        sssp_fixed_point(m, g, wbg, 0)
+        assert m.health.verdicts["partition_skew"].firing
+        assert m.stats.health.partition_skew_alerts >= 1
+        # degree-aware placement of the same graph stays under the bar
+        g2, wbg2 = build_graph(
+            256, list(zip(s, t)), weights=w, n_ranks=4, partition="degree"
+        )
+        m2 = Machine(n_ranks=4, observe=ObserveConfig(
+            health=HealthConfig(partition_skew_factor=1.5)
+        ))
+        m2.attach_graph(g2)
+        sssp_fixed_point(m2, g2, wbg2, 0)
+        assert not m2.health.verdicts["partition_skew"].firing
+        assert m2.stats.health.partition_skew_alerts == 0
+
     def test_stall_fires_inside_active_epoch_and_clears(self):
         m = Machine(n_ranks=2, observe=ObserveConfig(
             health=HealthConfig(stall_deadline=0.05)
@@ -212,7 +241,7 @@ class TestWatchdogs:
         assert st["healthy"] is True
         assert st["epoch"] == len(m.stats.epochs)
         assert len(st["per_rank"]["messages"]) == 4
-        assert set(st["watchdogs"]) == {"stall", "retry_storm", "message_rate"}
+        assert set(st["watchdogs"]) == {"stall", "retry_storm", "message_rate", "partition_skew"}
 
 
 # ---------------------------------------------------------------------------
@@ -247,7 +276,7 @@ class TestPrometheusReflection:
             for (name, labels), v in samples.items()
             if name == "repro_health_watchdog_firing"
         }
-        assert watchdogs == {"stall", "retry_storm", "message_rate"}
+        assert watchdogs == {"stall", "retry_storm", "message_rate", "partition_skew"}
 
     def test_gauge_vs_counter_typing(self):
         g, wbg = small_instance()

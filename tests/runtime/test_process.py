@@ -158,8 +158,51 @@ class TestCheckpointAndObservability:
         st = pm.transport.checkpoint_state()
         assert st["frames_posted"] >= 1
         assert st["frames_posted"] == st["frames_done"]  # quiescent
-        with pytest.raises(NotImplementedError, match="restore"):
-            pm.transport.restore_state(st)
+
+    def test_restore_state_stops_workers_and_releases_shm(self, pm):
+        """restore_state is teardown-not-rewind: workers stop, shm maps
+        are privatized, and the next send respawns against republished
+        segments (the checkpoint manager re-applies map content at the
+        next epoch entry)."""
+        pm.register("n", lambda ctx, p: None, dest_rank_of=lambda p: p[0] % 4)
+        with pm.epoch() as ep:
+            for i in range(8):
+                ep.invoke("n", (i,))
+        st = pm.transport.checkpoint_state()
+        assert pm.transport._started
+        pm.transport.restore_state(st)
+        assert not pm.transport._started
+        assert pm.transport._shm_by_map == {}
+        # the transport comes back on the next epoch
+        with pm.epoch() as ep:
+            ep.invoke("n", (1,))
+        assert pm.stats.by_type["n"].handler_calls == 9
+
+    def test_restore_flow_recovers_clobbered_map(self):
+        """End-to-end checkpoint restore on the process transport: the
+        manager tears the workers down via ``restore_state``, and the
+        re-applied map content survives into the respawned workers."""
+        from repro.algorithms.sssp import dijkstra_reference, sssp_fixed_point
+
+        s, t = erdos_renyi(48, 130, seed=3)
+        w = uniform_weights(130, 1.0, 8.0, seed=4)
+        g, wg = build_graph(48, list(zip(s, t)), weights=w, n_ranks=2)
+        ref = dijkstra_reference(48, s, t, w, 0)
+        m = Machine(2, transport="process", checkpoint=CheckpointConfig(every=1))
+        try:
+            dist = sssp_fixed_point(m, g, wg, 0)
+            assert np.array_equal(ref, dist)
+            (dm,) = [pm for pm in g._vertex_maps if pm.name == "dist"]
+            for r in range(g.n_ranks):
+                dm.local_slice(r)[:] = -1.0
+            m.checkpoints.restore()
+            assert not m.transport._started
+            with m.epoch():
+                pass  # pending map restores re-apply at epoch entry
+            assert np.array_equal(dm.to_array(), ref)
+            assert m.stats.checkpoint.restores == 1
+        finally:
+            m.shutdown()
 
     def test_checkpoint_manager_composes(self):
         m = Machine(
